@@ -1,0 +1,23 @@
+"""Figure 1: the PC-sampling mental model (stall / active ratios)."""
+
+from __future__ import annotations
+
+from repro.evaluation.figure1 import sampling_model_demo
+
+
+def test_figure1_sampling_model(benchmark):
+    demo = benchmark.pedantic(sampling_model_demo, kwargs={"sample_period": 8},
+                              iterations=1, rounds=3)
+
+    print()
+    print(f"sample period          : {demo['sample_period']} cycles")
+    print(f"total samples          : {demo['total_samples']}")
+    print(f"active samples         : {demo['active_samples']}")
+    print(f"latency samples        : {demo['latency_samples']}")
+    print(f"stall ratio            : {demo['stall_ratio']:.2f}")
+    print(f"active ratio           : {demo['active_ratio']:.2f}")
+    print(f"warps per scheduler    : {demo['warps_per_scheduler']}")
+    print(f"stall reasons          : {demo['stalls_by_reason']}")
+
+    assert demo["total_samples"] == demo["active_samples"] + demo["latency_samples"]
+    assert 0.0 < demo["stall_ratio"] < 1.0

@@ -1,0 +1,23 @@
+"""pytest-benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper's evaluation and
+prints the reproduced rows/series next to the paper's numbers; the
+pytest-benchmark timing wraps the regeneration itself so `--benchmark-only`
+runs double as a performance check of the analysis pipeline.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-table3",
+        action="store_true",
+        default=False,
+        help="evaluate every Table 3 row instead of the representative subset",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_table3(request):
+    return request.config.getoption("--full-table3")

@@ -1,0 +1,77 @@
+"""repro — a reproduction of *GPA: A GPU Performance Advisor Based on
+Instruction Sampling* (Zhou, Meng, Sai, Mellor-Crummey — CGO 2021).
+
+The package is organised as the paper's Figure 2:
+
+* :mod:`repro.isa`, :mod:`repro.cubin`, :mod:`repro.cfg`,
+  :mod:`repro.structure`, :mod:`repro.arch` — the static side: a SASS-like
+  ISA, CUBIN-like binaries, control flow / loop analysis, program structure
+  and architectural features;
+* :mod:`repro.sampling` — the CUPTI/V100 substitute: an SM-level execution
+  simulator that produces PC samples and launch statistics;
+* :mod:`repro.blame`, :mod:`repro.optimizers`, :mod:`repro.estimators` — the
+  dynamic analyzer: the instruction blamer, the Table 2 optimizers and the
+  Equation 2-10 estimators;
+* :mod:`repro.advisor` — the GPA facade, report generator and CLI;
+* :mod:`repro.workloads`, :mod:`repro.evaluation` — the synthetic Rodinia /
+  application kernels and the harness that regenerates Table 3 and Figures
+  1 and 7.
+
+Quickstart::
+
+    from repro import GPA, LaunchConfig, WorkloadSpec
+    from repro.workloads import case_by_name
+
+    case = case_by_name("rodinia/hotspot:strength_reduction")
+    setup = case.build_baseline()
+    report = GPA().advise(setup.cubin, setup.kernel, setup.config, setup.workload)
+    print(GPA.render(report))
+"""
+
+from repro.advisor.advisor import GPA
+from repro.advisor.report import AdviceReport, render_report
+from repro.arch.machine import GpuArchitecture, VoltaV100, get_architecture
+from repro.blame.attribution import BlameResult, InstructionBlamer
+from repro.cubin.binary import Cubin, Function, FunctionVisibility
+from repro.cubin.builder import CubinBuilder, KernelBuilder
+from repro.optimizers.base import OptimizationAdvice, Optimizer, OptimizerCategory
+from repro.optimizers.registry import OptimizerRegistry, default_optimizers
+from repro.sampling.profiler import ProfiledKernel, Profiler
+from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
+from repro.sampling.stall_reasons import DetailedStallReason, StallReason
+from repro.sampling.workload import WorkloadSpec
+from repro.structure.program import ProgramStructure, build_program_structure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdviceReport",
+    "BlameResult",
+    "Cubin",
+    "CubinBuilder",
+    "DetailedStallReason",
+    "Function",
+    "FunctionVisibility",
+    "GPA",
+    "GpuArchitecture",
+    "InstructionBlamer",
+    "KernelBuilder",
+    "KernelProfile",
+    "LaunchConfig",
+    "LaunchStatistics",
+    "OptimizationAdvice",
+    "Optimizer",
+    "OptimizerCategory",
+    "OptimizerRegistry",
+    "ProfiledKernel",
+    "Profiler",
+    "ProgramStructure",
+    "StallReason",
+    "VoltaV100",
+    "WorkloadSpec",
+    "build_program_structure",
+    "default_optimizers",
+    "get_architecture",
+    "render_report",
+    "__version__",
+]

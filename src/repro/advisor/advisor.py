@@ -1,0 +1,81 @@
+"""The GPA facade.
+
+``GPA`` combines the profiler (PC sampling), the static analyzer and the
+dynamic analyzer behind two entry points:
+
+* :meth:`GPA.advise` — profile a kernel launch on the simulator and analyze
+  the resulting profile in one call (the command-line workflow of the paper:
+  "GPA is a command line tool that automates profiling and analysis stages");
+* :meth:`GPA.analyze` — analyze an existing profile + binary, for offline
+  analysis of dumped profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.advisor.dynamic_analyzer import DynamicAnalyzer
+from repro.advisor.report import AdviceReport, render_report
+from repro.advisor.static_analyzer import StaticAnalysis, StaticAnalyzer
+from repro.arch.machine import GpuArchitecture, VoltaV100
+from repro.cubin.binary import Cubin
+from repro.optimizers.base import Optimizer
+from repro.sampling.profiler import ProfiledKernel, Profiler
+from repro.sampling.sample import KernelProfile, LaunchConfig
+from repro.sampling.workload import WorkloadSpec
+from repro.structure.program import ProgramStructure
+
+
+class GPA:
+    """GPU Performance Advisor."""
+
+    def __init__(
+        self,
+        architecture: Optional[GpuArchitecture] = None,
+        optimizers: Optional[Iterable[Optimizer]] = None,
+        sample_period: int = 32,
+    ):
+        self.architecture = architecture or VoltaV100
+        self.profiler = Profiler(self.architecture, sample_period=sample_period)
+        self.static_analyzer = StaticAnalyzer(self.architecture)
+        self.dynamic_analyzer = DynamicAnalyzer(self.architecture, optimizers)
+
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        cubin: Cubin,
+        kernel_name: str,
+        config: LaunchConfig,
+        workload: Optional[WorkloadSpec] = None,
+    ) -> ProfiledKernel:
+        """Run the profiling stage only."""
+        return self.profiler.profile(cubin, kernel_name, config, workload)
+
+    def analyze(self, profile: KernelProfile, structure: ProgramStructure) -> AdviceReport:
+        """Run the dynamic analyzer on an existing profile."""
+        return self.dynamic_analyzer.analyze(profile, structure)
+
+    def analyze_binary(self, cubin: Cubin) -> StaticAnalysis:
+        """Run the static analyzer only."""
+        return self.static_analyzer.analyze(cubin)
+
+    def advise(
+        self,
+        cubin: Cubin,
+        kernel_name: str,
+        config: LaunchConfig,
+        workload: Optional[WorkloadSpec] = None,
+    ) -> AdviceReport:
+        """Profile a kernel launch and produce its ranked advice report."""
+        profiled = self.profile(cubin, kernel_name, config, workload)
+        return self.analyze(profiled.profile, profiled.structure)
+
+    def advise_profiled(self, profiled: ProfiledKernel) -> AdviceReport:
+        """Analyze an already-profiled kernel launch."""
+        return self.analyze(profiled.profile, profiled.structure)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def render(report: AdviceReport, top: int = 5) -> str:
+        """Render a report as ASCII text (Figure 8 format)."""
+        return render_report(report, top=top)

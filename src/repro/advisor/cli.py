@@ -1,0 +1,101 @@
+"""The ``gpa-advise`` command line tool.
+
+The paper's GPA is a command-line tool that automates the profiling and
+analysis stages for a CUDA application.  Without a GPU, the CLI operates on
+the built-in synthetic workloads (or on a previously dumped profile + binary
+pair):
+
+.. code-block:: console
+
+   # List the available benchmark cases (Table 3 rows).
+   gpa-advise --list
+
+   # Profile a benchmark's baseline kernel and print its advice report.
+   gpa-advise --case rodinia/hotspot:strength_reduction
+
+   # Same, as JSON (for GUI ingestion).
+   gpa-advise --case ExaTENSOR:strength_reduction --json
+
+   # Analyze an offline profile dumped by the profiler.
+   gpa-advise --profile profile.json --cubin module.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.advisor.advisor import GPA
+from repro.advisor.report import render_report
+from repro.cubin.binary import Cubin
+from repro.sampling.sample import KernelProfile
+from repro.structure.program import build_program_structure
+from repro.workloads.registry import all_cases, case_by_name, case_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpa-advise",
+        description="GPU Performance Advisor (simulator-backed reproduction)",
+    )
+    parser.add_argument("--list", action="store_true", help="list the built-in benchmark cases")
+    parser.add_argument("--case", help="benchmark case to profile and analyze (see --list)")
+    parser.add_argument("--optimized", action="store_true",
+                        help="analyze the hand-optimized variant instead of the baseline")
+    parser.add_argument("--profile", help="path to a dumped kernel profile (JSON)")
+    parser.add_argument("--cubin", help="path to a dumped binary (JSON), required with --profile")
+    parser.add_argument("--top", type=int, default=5, help="number of optimizers to show")
+    parser.add_argument("--sample-period", type=int, default=8,
+                        help="PC sampling period in cycles")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    return parser
+
+
+def _report_for_case(args: argparse.Namespace) -> "AdviceReport":
+    case = case_by_name(args.case)
+    setup = case.build_optimized() if args.optimized else case.build_baseline()
+    gpa = GPA(sample_period=args.sample_period)
+    return gpa.advise(setup.cubin, setup.kernel, setup.config, setup.workload)
+
+
+def _report_for_profile(args: argparse.Namespace) -> "AdviceReport":
+    if not args.cubin:
+        raise SystemExit("--profile requires --cubin")
+    profile = KernelProfile.from_json(Path(args.profile).read_text())
+    cubin = Cubin.from_json(Path(args.cubin).read_text())
+    structure = build_program_structure(cubin)
+    gpa = GPA(sample_period=args.sample_period)
+    return gpa.analyze(profile, structure)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``gpa-advise``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in case_names():
+            case = case_by_name(name)
+            print(f"{name:55s} kernel={case.kernel:30s} optimizer={case.optimizer_name}")
+        return 0
+
+    if args.case:
+        report = _report_for_case(args)
+    elif args.profile:
+        report = _report_for_profile(args)
+    else:
+        parser.print_help()
+        return 2
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_report(report, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

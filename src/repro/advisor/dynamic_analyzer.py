@@ -1,0 +1,59 @@
+"""The dynamic analyzer (the right half of Figure 2).
+
+For each kernel launch the dynamic analyzer
+
+1. runs the instruction blamer to attribute dependent stalls to their source
+   instructions,
+2. matches every registered performance optimizer against the blamed stalls
+   and the program structure,
+3. lets the performance estimators quantify each optimizer's speedup, and
+4. assembles the ranked advice report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.advisor.report import AdviceReport
+from repro.arch.machine import GpuArchitecture, VoltaV100
+from repro.blame.attribution import InstructionBlamer
+from repro.optimizers.base import AnalysisContext, OptimizationAdvice, Optimizer
+from repro.optimizers.registry import OptimizerRegistry
+from repro.sampling.sample import KernelProfile
+from repro.structure.program import ProgramStructure
+
+
+class DynamicAnalyzer:
+    """Runs the blame + match + estimate pipeline on one kernel profile."""
+
+    def __init__(
+        self,
+        architecture: Optional[GpuArchitecture] = None,
+        optimizers: Optional[Iterable[Optimizer]] = None,
+    ):
+        self.architecture = architecture or VoltaV100
+        self.registry = (
+            optimizers
+            if isinstance(optimizers, OptimizerRegistry)
+            else OptimizerRegistry(optimizers)
+        )
+        self.blamer = InstructionBlamer(self.architecture)
+
+    # ------------------------------------------------------------------
+    def analyze(self, profile: KernelProfile, structure: ProgramStructure) -> AdviceReport:
+        """Produce the ranked advice report for one kernel launch."""
+        blame = self.blamer.blame(profile, structure)
+        context = AnalysisContext(
+            profile=profile,
+            structure=structure,
+            blame=blame,
+            architecture=self.architecture,
+        )
+
+        advice: List[OptimizationAdvice] = []
+        for optimizer in self.registry:
+            result = optimizer.match(context)
+            advice.append(result)
+
+        advice.sort(key=lambda item: (item.applicable, item.estimated_speedup), reverse=True)
+        return AdviceReport(kernel=profile.kernel, profile=profile, blame=blame, advice=advice)

@@ -1,0 +1,58 @@
+"""The static analyzer (the left half of Figure 2).
+
+From a CUBIN the static analyzer recovers:
+
+* control flow graphs (our nvdisasm substitute decodes instructions; super
+  blocks are split into basic blocks and loop nests are recovered — the role
+  Dyninst plays in the paper),
+* the program structure file (function symbols with visibility, inline
+  stacks, loop nests, source-line mappings),
+* architectural features, fetched from the architecture flag encoded in the
+  binary (instruction latencies, warp size, register limits, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arch.machine import ArchitectureError, GpuArchitecture, VoltaV100, get_architecture
+from repro.cubin.binary import Cubin
+from repro.cubin.disasm import DisassembledFunction, disassemble_cubin
+from repro.structure.program import ProgramStructure, build_program_structure
+
+
+@dataclass
+class StaticAnalysis:
+    """Everything the static analyzer recovers from one binary."""
+
+    cubin: Cubin
+    structure: ProgramStructure
+    architecture: GpuArchitecture
+    disassembly: Dict[str, DisassembledFunction]
+
+    def listing(self, function_name: str) -> str:
+        """The nvdisasm-style listing of one function."""
+        return self.disassembly[function_name].listing
+
+
+class StaticAnalyzer:
+    """Analyzes CUBINs offline, before any profile is consulted."""
+
+    def __init__(self, default_architecture: Optional[GpuArchitecture] = None):
+        self.default_architecture = default_architecture or VoltaV100
+
+    def analyze(self, cubin: Cubin, from_bytes: bool = False) -> StaticAnalysis:
+        """Recover structure, architecture features and disassembly."""
+        try:
+            architecture = get_architecture(cubin.arch_flag)
+        except ArchitectureError:
+            architecture = self.default_architecture
+        structure = build_program_structure(cubin)
+        disassembly = disassemble_cubin(cubin, from_bytes=from_bytes)
+        return StaticAnalysis(
+            cubin=cubin,
+            structure=structure,
+            architecture=architecture,
+            disassembly=disassembly,
+        )

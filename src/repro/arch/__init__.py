@@ -1,0 +1,30 @@
+"""Architectural feature descriptions (the paper's "GPU Arch Features" box).
+
+GPA's static analyzer reads the architecture flag encoded in each CUBIN and
+fetches hardware configuration — instruction latencies, warp size, register
+limits, scheduler counts — for use by the blamer (latency-based pruning), the
+optimizers (occupancy reasoning) and the estimators (issue-rate modelling).
+"""
+
+from repro.arch.machine import (
+    ArchitectureError,
+    GpuArchitecture,
+    KeplerLike,
+    PascalLike,
+    VoltaV100,
+    get_architecture,
+    register_architecture,
+)
+from repro.arch.occupancy import OccupancyCalculator, OccupancyResult
+
+__all__ = [
+    "ArchitectureError",
+    "GpuArchitecture",
+    "KeplerLike",
+    "OccupancyCalculator",
+    "OccupancyResult",
+    "PascalLike",
+    "VoltaV100",
+    "get_architecture",
+    "register_architecture",
+]

@@ -1,0 +1,202 @@
+"""GPU machine models.
+
+Each :class:`GpuArchitecture` instance describes the hardware parameters that
+GPA's analyses need.  The default model is a Volta V100, the GPU the paper
+evaluates on (Section 6): 80 SMs, 4 warp schedulers per SM, 64 warps per SM,
+warp size 32, 255 registers per thread, 64K registers and 96 KiB shared
+memory per SM.
+
+Instruction latencies are taken from the opcode catalog
+(:mod:`repro.isa.opcodes`), which follows the Volta microbenchmarking study
+the paper cites (Jia et al.).  Architectures are registered by their CUBIN
+architecture flag (e.g. ``sm_70``) so the static analyzer can fetch the right
+model from the flag recorded in a binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.isa.opcodes import OPCODES, OpcodeInfo, lookup_opcode
+
+
+class ArchitectureError(KeyError):
+    """Raised when an unknown architecture flag is requested."""
+
+
+@dataclass(frozen=True)
+class GpuArchitecture:
+    """Hardware configuration for one GPU generation."""
+
+    name: str
+    #: CUBIN architecture flag, e.g. ``sm_70``.
+    arch_flag: str
+    #: Number of streaming multiprocessors.
+    num_sms: int
+    #: Warp schedulers per SM; each records PC samples round-robin.
+    schedulers_per_sm: int
+    #: Threads per warp.
+    warp_size: int
+    #: Maximum resident warps per SM.
+    max_warps_per_sm: int
+    #: Maximum resident thread blocks per SM.
+    max_blocks_per_sm: int
+    #: Maximum threads per block.
+    max_threads_per_block: int
+    #: 32-bit registers available per SM.
+    registers_per_sm: int
+    #: Maximum registers addressable per thread.
+    max_registers_per_thread: int
+    #: Register allocation granularity (registers are allocated per warp in
+    #: multiples of this).
+    register_allocation_unit: int
+    #: Shared memory per SM in bytes.
+    shared_memory_per_sm: int
+    #: Shared memory allocation granularity in bytes.
+    shared_memory_allocation_unit: int
+    #: Instruction cache size in bytes (used by the instruction-fetch model
+    #: and the Function Split optimizer).
+    instruction_cache_bytes: int
+    #: Maximum in-flight memory requests per SM before memory throttling
+    #: stalls appear (used by the simulator and the Memory Transaction
+    #: Reduction optimizer).
+    max_outstanding_memory_requests: int
+    #: Core clock in MHz (only used to convert cycles to wall-clock time in
+    #: reports; analyses are cycle-based).
+    clock_mhz: int = 1380
+    #: Per-opcode latency overrides for this architecture.
+    latency_overrides: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Latency queries (used by the pruning rules and the simulator)
+    # ------------------------------------------------------------------
+    def opcode_info(self, opcode: str) -> OpcodeInfo:
+        """Metadata for ``opcode`` from the shared catalog."""
+        return lookup_opcode(opcode)
+
+    def latency(self, opcode: str) -> int:
+        """Typical completion latency of ``opcode`` on this architecture."""
+        base = opcode.split(".", 1)[0]
+        if opcode in self.latency_overrides:
+            return self.latency_overrides[opcode]
+        if base in self.latency_overrides:
+            return self.latency_overrides[base]
+        return lookup_opcode(opcode).latency
+
+    def latency_upper_bound(self, opcode: str) -> int:
+        """Upper-bound latency used by the latency-based pruning rule.
+
+        The paper uses microbenchmarked latencies for fixed-latency
+        instructions and pessimistic bounds (e.g. a TLB miss) for variable
+        latency instructions.
+        """
+        info = lookup_opcode(opcode)
+        if info.is_variable_latency:
+            return info.latency_upper_bound
+        return self.latency(opcode)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def max_warps_per_scheduler(self) -> int:
+        """Hardware limit of resident warps managed by one scheduler."""
+        return self.max_warps_per_sm // self.schedulers_per_sm
+
+    @property
+    def max_threads_per_sm(self) -> int:
+        return self.max_warps_per_sm * self.warp_size
+
+    def cycles_to_microseconds(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds at the core clock."""
+        return cycles / self.clock_mhz
+
+
+#: NVIDIA Volta V100 (sm_70), the GPU used in the paper's evaluation.
+VoltaV100 = GpuArchitecture(
+    name="Volta V100",
+    arch_flag="sm_70",
+    num_sms=80,
+    schedulers_per_sm=4,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_allocation_unit=256,
+    shared_memory_per_sm=96 * 1024,
+    shared_memory_allocation_unit=256,
+    instruction_cache_bytes=12 * 1024,
+    max_outstanding_memory_requests=64,
+    clock_mhz=1380,
+)
+
+#: A Pascal-class model (sm_60) kept for the pre-Volta 64-bit encoding note
+#: in Section 2.2; analyses run identically, only limits differ.
+PascalLike = GpuArchitecture(
+    name="Pascal P100",
+    arch_flag="sm_60",
+    num_sms=56,
+    schedulers_per_sm=2,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_allocation_unit=256,
+    shared_memory_per_sm=64 * 1024,
+    shared_memory_allocation_unit=256,
+    instruction_cache_bytes=8 * 1024,
+    max_outstanding_memory_requests=48,
+    clock_mhz=1328,
+    latency_overrides={"LDG": 450, "LDS": 30},
+)
+
+#: A Kepler-class model (sm_35), the oldest generation with PC sampling.
+KeplerLike = GpuArchitecture(
+    name="Kepler K80",
+    arch_flag="sm_35",
+    num_sms=13,
+    schedulers_per_sm=4,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_allocation_unit=256,
+    shared_memory_per_sm=48 * 1024,
+    shared_memory_allocation_unit=256,
+    instruction_cache_bytes=8 * 1024,
+    max_outstanding_memory_requests=32,
+    clock_mhz=875,
+    latency_overrides={"LDG": 600, "FADD": 9, "FMUL": 9, "FFMA": 9, "IADD": 9},
+)
+
+
+_REGISTRY: Dict[str, GpuArchitecture] = {}
+
+
+def register_architecture(architecture: GpuArchitecture) -> None:
+    """Register an architecture so it can be looked up by its arch flag."""
+    _REGISTRY[architecture.arch_flag] = architecture
+
+
+def get_architecture(arch_flag: str) -> GpuArchitecture:
+    """Fetch the architecture model registered for ``arch_flag``.
+
+    Raises :class:`ArchitectureError` if the flag is unknown.
+    """
+    try:
+        return _REGISTRY[arch_flag]
+    except KeyError as exc:
+        raise ArchitectureError(
+            f"unknown architecture flag {arch_flag!r}; known: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+for _arch in (VoltaV100, PascalLike, KeplerLike):
+    register_architecture(_arch)

@@ -1,0 +1,58 @@
+"""Fine-grained stall classification (Figure 5).
+
+After attribution, dependent stalls are refined by the opcode of the *source*
+instruction:
+
+* memory dependency → constant memory (``LDC``), local memory (``LDL``),
+  global memory (other loads) — Figure 5a;
+* execution dependency → shared memory (``LDS``), WAR dependency (stores:
+  ``ST``/``STS``/``STG``/``STL``), arithmetic (others) — Figure 5b;
+* synchronization stays in its own bucket.
+
+Knowing that stalls are *local-memory* dependencies matters for register
+pressure analysis (register spills); the Register Reuse optimizer matches on
+exactly that class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.registers import MemorySpace
+from repro.sampling.stall_reasons import DetailedStallReason, StallReason
+
+_STORE_OPCODES = frozenset({"ST", "STS", "STG", "STL", "RED"})
+
+
+def classify_source(
+    reason: StallReason, source_instruction: Optional[Instruction]
+) -> DetailedStallReason:
+    """Classify a dependent stall by the opcode of its source instruction."""
+    if reason is StallReason.SYNCHRONIZATION:
+        return DetailedStallReason.SYNCHRONIZATION
+    if source_instruction is None:
+        return (
+            DetailedStallReason.GLOBAL_MEMORY_DEPENDENCY
+            if reason is StallReason.MEMORY_DEPENDENCY
+            else DetailedStallReason.ARITHMETIC_DEPENDENCY
+        )
+
+    opcode = source_instruction.opcode
+    space = source_instruction.memory_space
+
+    if reason is StallReason.MEMORY_DEPENDENCY:
+        if opcode == "LDC" or space is MemorySpace.CONSTANT:
+            return DetailedStallReason.CONSTANT_MEMORY_DEPENDENCY
+        if opcode == "LDL" or space is MemorySpace.LOCAL:
+            return DetailedStallReason.LOCAL_MEMORY_DEPENDENCY
+        return DetailedStallReason.GLOBAL_MEMORY_DEPENDENCY
+
+    if reason is StallReason.EXECUTION_DEPENDENCY:
+        if opcode == "LDS" or space is MemorySpace.SHARED and source_instruction.is_load:
+            return DetailedStallReason.SHARED_MEMORY_DEPENDENCY
+        if opcode in _STORE_OPCODES or source_instruction.is_store:
+            return DetailedStallReason.WAR_DEPENDENCY
+        return DetailedStallReason.ARITHMETIC_DEPENDENCY
+
+    return DetailedStallReason.SELF

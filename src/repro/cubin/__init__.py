@@ -1,0 +1,31 @@
+"""CUBIN-like binary container and kernel authoring DSL.
+
+The paper's profiler records CUDA binaries (CUBINs) for offline analysis;
+GPA's static analyzer then recovers control flow, program structure and
+architectural features from them.  This package provides:
+
+* :class:`~repro.cubin.binary.Cubin` / :class:`~repro.cubin.binary.Function`
+  — the binary container (architecture flag, function symbols with
+  global/device visibility, encoded code sections, line tables and
+  DWARF-like inline information, register and shared-memory usage);
+* :class:`~repro.cubin.builder.KernelBuilder` — a DSL for authoring SASS-like
+  kernels, including an assembler pass that assigns control codes
+  (stall cycles, write/read barriers and wait masks) the way ptxas does;
+* :mod:`repro.cubin.disasm` — an nvdisasm substitute that decodes code
+  sections back to instruction listings and raw control flow graphs.
+"""
+
+from repro.cubin.binary import Cubin, Function, FunctionVisibility, LineTableEntry
+from repro.cubin.builder import CubinBuilder, KernelBuilder
+from repro.cubin.disasm import disassemble_cubin, disassemble_function
+
+__all__ = [
+    "Cubin",
+    "CubinBuilder",
+    "Function",
+    "FunctionVisibility",
+    "KernelBuilder",
+    "LineTableEntry",
+    "disassemble_cubin",
+    "disassemble_function",
+]

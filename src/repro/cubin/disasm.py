@@ -1,0 +1,68 @@
+"""Disassembler (nvdisasm substitute).
+
+GPA runs ``nvdisasm`` over CUBINs to decode instructions and dump raw control
+flow graphs.  Our disassembler performs the same role on the fixed-width
+encoding: it decodes a function's code section back to instructions, renders
+an nvdisasm-like listing (with control-code brackets), and produces the raw
+CFG that the static analyzer then refines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cfg.graph import ControlFlowGraph, build_cfg
+from repro.cubin.binary import Cubin, Function
+from repro.isa.encoder import decode_program
+
+
+@dataclass
+class DisassembledFunction:
+    """The output of disassembling one function."""
+
+    name: str
+    listing: str
+    instructions: list
+    cfg: ControlFlowGraph
+
+
+def render_listing(function: Function, with_control: bool = True) -> str:
+    """Render an nvdisasm-like text listing of a function."""
+    lines = [f"\t.function {function.name} ({function.visibility.value})"]
+    last_line: Optional[int] = None
+    for instruction in function.instructions:
+        if instruction.line is not None and instruction.line != last_line:
+            source = instruction.source_file or function.source_file or "<unknown>"
+            lines.append(f"\t//## File \"{source}\", line {instruction.line}")
+            last_line = instruction.line
+        lines.append(f"        /*{instruction.offset:04x}*/  {instruction.render(with_control)}")
+    return "\n".join(lines)
+
+
+def disassemble_function(function: Function, from_bytes: bool = False) -> DisassembledFunction:
+    """Disassemble one function, optionally round-tripping through its encoding.
+
+    With ``from_bytes=True`` the instructions are re-decoded from the encoded
+    code section (exercising the 128-bit encoder/decoder); otherwise the
+    in-memory instruction list is used, which preserves information the
+    compact encoding cannot represent exactly (long line numbers, more than
+    two modifiers).
+    """
+    if from_bytes:
+        instructions = decode_program(function.encode())
+    else:
+        instructions = list(function.instructions)
+    cfg = build_cfg(instructions)
+    listing = render_listing(function)
+    return DisassembledFunction(
+        name=function.name, listing=listing, instructions=instructions, cfg=cfg
+    )
+
+
+def disassemble_cubin(cubin: Cubin, from_bytes: bool = False) -> Dict[str, DisassembledFunction]:
+    """Disassemble every function in a binary."""
+    return {
+        name: disassemble_function(function, from_bytes=from_bytes)
+        for name, function in cubin.functions.items()
+    }

@@ -1,0 +1,29 @@
+"""Performance estimators (Section 5.2).
+
+Estimators translate the stalls matched by an optimizer into an estimated
+speedup by modelling GPU execution with the instruction samples:
+
+* stall-elimination speedup, Equation 2;
+* latency-hiding speedup with the ``min(A, M_L)`` refinement, Equations 3–4,
+  whose upper bound is 2x (Theorem 5.1);
+* scope-limited latency hiding for loops and functions, Equation 5;
+* the parallel-optimization estimator built on the change of active warps
+  per scheduler and the change of issue rate, Equations 6–10.
+"""
+
+from repro.estimators.code import (
+    latency_hiding_speedup,
+    latency_hiding_upper_bound,
+    scoped_latency_hiding_speedup,
+    stall_elimination_speedup,
+)
+from repro.estimators.parallel import ParallelEstimate, ParallelEstimator
+
+__all__ = [
+    "ParallelEstimate",
+    "ParallelEstimator",
+    "latency_hiding_speedup",
+    "latency_hiding_upper_bound",
+    "scoped_latency_hiding_speedup",
+    "stall_elimination_speedup",
+]

@@ -1,0 +1,185 @@
+"""Parallel-optimization estimator (Section 5.2.2, Equations 6-10).
+
+Parallel optimizers change the number of blocks and the number of threads per
+block.  The estimator models the effect through two factors:
+
+* ``CW = W_new / W`` — the change of active warps per scheduler (Equation 6);
+* ``CI = I_new / I`` — the change of the scheduler issue rate (Equation 7),
+  where ``I = 1 - (1 - R_I)^W`` (Equation 8) and
+  ``I_new = 1 - (1 - R_I)^W_new`` (Equation 9), with ``R_I`` the per-warp
+  readiness rate derived from the measured kernel issue (active) ratio.
+
+The estimated speedup is ``S_p = (1 / CW) * CI * f`` (Equation 10), where the
+factor ``f`` captures effects specific to each optimizer.  In this
+implementation ``f`` is composed of
+
+* the change in the number of SMs that actually receive blocks (a grid with
+  fewer blocks than SMs leaves most of the GPU idle — the Block Increase
+  case of particlefilter, streamcluster and PeleC), and
+* optionally, the removal of memory-throttle and not-selected stalls when
+  the number of warps per scheduler drops to one or below (the assumption
+  mentioned at the end of Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.machine import GpuArchitecture, VoltaV100
+from repro.arch.occupancy import OccupancyCalculator, OccupancyResult
+from repro.sampling.sample import KernelProfile, LaunchConfig
+from repro.sampling.stall_reasons import StallReason
+
+
+@dataclass(frozen=True)
+class ParallelEstimate:
+    """The output of the parallel estimator for one proposed launch change."""
+
+    #: Proposed launch configuration.
+    new_config: LaunchConfig
+    #: Occupancy of the proposed configuration.
+    new_occupancy: OccupancyResult
+    #: Warps per scheduler, before and after.
+    warps_per_scheduler: float
+    new_warps_per_scheduler: float
+    #: Equation 6.
+    cw: float
+    #: Scheduler issue rates (Equations 8 and 9) and their ratio (Equation 7).
+    issue_rate: float
+    new_issue_rate: float
+    ci: float
+    #: Optimizer-specific factor of Equation 10.
+    f: float
+    #: Equation 10.
+    speedup: float
+
+    def describe(self) -> str:
+        return (
+            f"blocks={self.new_config.grid_blocks}, "
+            f"threads/block={self.new_config.threads_per_block}: "
+            f"CW={self.cw:.3f}, CI={self.ci:.3f}, f={self.f:.3f}, "
+            f"estimated speedup {self.speedup:.2f}x"
+        )
+
+
+class ParallelEstimator:
+    """Estimates the speedup of changing the launch configuration."""
+
+    def __init__(self, architecture: Optional[GpuArchitecture] = None):
+        self.architecture = architecture or VoltaV100
+
+    # ------------------------------------------------------------------
+    def per_warp_ready_rate(self, issue_ratio: float, warps_per_scheduler: float) -> float:
+        """Invert Equation 8: per-warp readiness R_I from the measured issue ratio.
+
+        The measured active ratio of the kernel is the scheduler-level issue
+        probability ``I``; with ``W`` warps per scheduler the per-warp
+        readiness solves ``I = 1 - (1 - R_I)^W``.
+        """
+        issue_ratio = min(max(issue_ratio, 1e-6), 1.0 - 1e-6)
+        warps = max(warps_per_scheduler, 1e-6)
+        return 1.0 - (1.0 - issue_ratio) ** (1.0 / warps)
+
+    def scheduler_issue_rate(self, per_warp_rate: float, warps_per_scheduler: float) -> float:
+        """Equation 8/9: ``I = 1 - (1 - R_I)^W``."""
+        per_warp_rate = min(max(per_warp_rate, 0.0), 1.0)
+        warps = max(warps_per_scheduler, 0.0)
+        return 1.0 - (1.0 - per_warp_rate) ** warps
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        profile: KernelProfile,
+        new_config: LaunchConfig,
+        registers_per_thread: Optional[int] = None,
+        shared_memory_per_block: Optional[int] = None,
+        assume_no_throttle_below_one_warp: bool = True,
+        total_work_factor: Optional[float] = None,
+    ) -> ParallelEstimate:
+        """Estimate the speedup of launching with ``new_config``.
+
+        ``total_work_factor`` is the ratio of warp-level work (dynamic
+        warp-instructions) after / before the change.  When ``None`` it is
+        derived from the change of the total warp count — the right model
+        when the total number of *threads* and the per-thread work are fixed
+        (e.g. Thread Increase reshaping 16-thread blocks into full warps).
+        Optimizers that redistribute a fixed total amount of work across more
+        blocks (Block Increase splitting the grid) should pass ``1.0``.
+        """
+        arch = self.architecture
+        stats = profile.statistics
+        old_config = stats.config
+        registers = registers_per_thread if registers_per_thread is not None else stats.registers_per_thread
+        shared = (
+            shared_memory_per_block
+            if shared_memory_per_block is not None
+            else old_config.shared_memory_bytes
+        )
+
+        calculator = OccupancyCalculator(arch)
+        new_occupancy = calculator.calculate(
+            grid_blocks=new_config.grid_blocks,
+            threads_per_block=new_config.threads_per_block,
+            registers_per_thread=registers,
+            shared_memory_per_block=shared,
+        )
+
+        old_warps = max(stats.warps_per_scheduler, 1e-6)
+        new_warps = max(new_occupancy.warps_per_scheduler, 1e-6)
+        cw = new_warps / old_warps
+
+        per_warp_rate = self.per_warp_ready_rate(profile.issue_rate, old_warps)
+        issue_rate = self.scheduler_issue_rate(per_warp_rate, old_warps)
+        new_issue_rate = self.scheduler_issue_rate(per_warp_rate, new_warps)
+        ci = new_issue_rate / issue_rate if issue_rate > 0 else 1.0
+
+        # Active SM change: a grid smaller than the SM count leaves SMs idle.
+        old_active_sms = min(arch.num_sms, old_config.grid_blocks)
+        new_active_sms = min(arch.num_sms, new_config.grid_blocks)
+        sm_factor = new_active_sms / max(old_active_sms, 1)
+
+        # Warp-level work change.  With per-thread work and total thread
+        # count fixed, the work per warp is unchanged and the total work
+        # scales with the number of warps in the grid (narrow blocks pad
+        # warps with idle lanes).
+        if total_work_factor is None:
+            total_old_warps = old_config.grid_blocks * math.ceil(
+                old_config.threads_per_block / arch.warp_size
+            )
+            total_new_warps = new_config.grid_blocks * math.ceil(
+                new_config.threads_per_block / arch.warp_size
+            )
+            work_factor = total_new_warps / max(total_old_warps, 1)
+        else:
+            work_factor = max(total_work_factor, 1e-6)
+
+        throttle_factor = 1.0
+        if assume_no_throttle_below_one_warp and new_warps <= 1.0:
+            removable = profile.stalls_by_reason().get(StallReason.MEMORY_THROTTLE, 0)
+            removable += profile.stalls_by_reason().get(StallReason.NOT_SELECTED, 0)
+            if profile.total_samples:
+                throttle_factor = profile.total_samples / max(
+                    profile.total_samples - removable, 1
+                )
+
+        # Speedup from the throughput model: time ~ work / (active SMs x I).
+        speedup = sm_factor * throttle_factor * ci / work_factor
+        speedup = max(speedup, 0.0)
+        # Report the optimizer-specific factor so that the paper's identity
+        # S_p = (1 / CW) * CI * f  (Equation 10) holds exactly.
+        f = speedup * cw / ci if ci > 0 else cw * sm_factor
+
+        return ParallelEstimate(
+            new_config=new_config,
+            new_occupancy=new_occupancy,
+            warps_per_scheduler=old_warps,
+            new_warps_per_scheduler=new_warps,
+            cw=cw,
+            issue_rate=issue_rate,
+            new_issue_rate=new_issue_rate,
+            ci=ci,
+            f=f,
+            speedup=speedup,
+        )

@@ -1,0 +1,21 @@
+"""Shared evaluation metrics."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (1.0 for an empty sequence)."""
+    values = [float(v) for v in values if v > 0]
+    if not values:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative_error(estimated: float, achieved: float) -> float:
+    """The paper's estimate error: ``|estimated - achieved| / achieved``."""
+    if achieved == 0:
+        return 0.0
+    return abs(estimated - achieved) / abs(achieved)

@@ -1,0 +1,161 @@
+"""Table 3: achieved vs. estimated speedups for every benchmark/optimization pair.
+
+For each row the harness
+
+1. profiles the baseline kernel on the simulated V100 and runs GPA's dynamic
+   analyzer on the profile (the *estimated* speedup is the matched
+   optimizer's estimate; its rank among the applicable suggestions is also
+   recorded);
+2. profiles the hand-optimized variant of the same kernel (the code change
+   the paper applied) and computes the *achieved* speedup as the ratio of
+   estimated kernel cycles;
+3. reports the estimate error ``|estimated - achieved| / achieved``.
+
+Absolute times are simulator cycles, not the paper's microseconds; only the
+speedups and their ordering are meaningful for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.advisor.advisor import GPA
+from repro.evaluation.metrics import geometric_mean, relative_error
+from repro.workloads.base import BenchmarkCase
+from repro.workloads.registry import all_cases
+
+
+@dataclass
+class Table3Row:
+    """One row of the reproduced Table 3."""
+
+    case: BenchmarkCase
+    baseline_cycles: float
+    optimized_cycles: float
+    achieved_speedup: float
+    estimated_speedup: float
+    error: float
+    #: Rank of the expected optimizer among the applicable advice (1 = top).
+    optimizer_rank: Optional[int]
+    total_samples: int
+
+    @property
+    def name(self) -> str:
+        return self.case.name
+
+    @property
+    def optimization(self) -> str:
+        return self.case.optimization
+
+
+@dataclass
+class Table3Result:
+    """All rows plus the aggregate statistics the paper reports."""
+
+    rows: List[Table3Row] = field(default_factory=list)
+
+    @property
+    def geomean_achieved(self) -> float:
+        return geometric_mean(row.achieved_speedup for row in self.rows)
+
+    @property
+    def geomean_estimated(self) -> float:
+        return geometric_mean(row.estimated_speedup for row in self.rows)
+
+    @property
+    def geomean_error(self) -> float:
+        return geometric_mean(max(row.error, 1e-4) for row in self.rows)
+
+    @property
+    def mean_error(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.error for row in self.rows) / len(self.rows)
+
+
+def evaluate_case(
+    case: BenchmarkCase,
+    gpa: Optional[GPA] = None,
+    sample_period: int = 8,
+) -> Table3Row:
+    """Evaluate one Table 3 row (profile baseline, advise, profile optimized)."""
+    gpa = gpa or GPA(sample_period=sample_period)
+
+    baseline = case.build_baseline()
+    profiled_baseline = gpa.profile(
+        baseline.cubin, baseline.kernel, baseline.config, baseline.workload
+    )
+    report = gpa.advise_profiled(profiled_baseline)
+
+    optimized = case.build_optimized()
+    profiled_optimized = gpa.profile(
+        optimized.cubin, optimized.kernel, optimized.config, optimized.workload
+    )
+
+    baseline_cycles = profiled_baseline.kernel_cycles
+    optimized_cycles = profiled_optimized.kernel_cycles
+    achieved = baseline_cycles / optimized_cycles if optimized_cycles else 1.0
+
+    advice = report.advice_for(case.optimizer_name)
+    estimated = advice.estimated_speedup if advice is not None else 1.0
+    applicable = [item.optimizer for item in report.advice if item.applicable]
+    rank = (
+        applicable.index(case.optimizer_name) + 1
+        if case.optimizer_name in applicable
+        else None
+    )
+
+    return Table3Row(
+        case=case,
+        baseline_cycles=baseline_cycles,
+        optimized_cycles=optimized_cycles,
+        achieved_speedup=achieved,
+        estimated_speedup=estimated,
+        error=relative_error(estimated, achieved),
+        optimizer_rank=rank,
+        total_samples=profiled_baseline.profile.total_samples,
+    )
+
+
+def evaluate_table3(
+    cases: Optional[Sequence[BenchmarkCase]] = None,
+    sample_period: int = 8,
+) -> Table3Result:
+    """Evaluate every Table 3 row (or the supplied subset)."""
+    gpa = GPA(sample_period=sample_period)
+    result = Table3Result()
+    for case in cases if cases is not None else all_cases():
+        result.rows.append(evaluate_case(case, gpa=gpa))
+    return result
+
+
+def format_table3(result: Table3Result, include_paper: bool = True) -> str:
+    """Render the reproduced Table 3 as aligned text."""
+    header = (
+        f"{'Application':24s} {'Kernel':28s} {'Optimization':30s} "
+        f"{'Original':>12s} {'Achieved':>9s} {'Estimated':>10s} {'Error':>7s} {'Rank':>5s}"
+    )
+    if include_paper:
+        header += f"  {'Paper A.':>9s} {'Paper E.':>9s}"
+    lines = [header, "-" * len(header)]
+    for row in result.rows:
+        line = (
+            f"{row.case.name:24s} {row.case.kernel:28s} {row.case.optimization:30s} "
+            f"{row.baseline_cycles:10.0f}cy {row.achieved_speedup:8.2f}x "
+            f"{row.estimated_speedup:9.2f}x {row.error * 100:6.1f}% "
+            f"{row.optimizer_rank if row.optimizer_rank is not None else '-':>5}"
+        )
+        if include_paper:
+            line += (
+                f"  {row.case.paper_achieved_speedup:8.2f}x "
+                f"{row.case.paper_estimated_speedup:8.2f}x"
+            )
+        lines.append(line)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'geomean':24s} {'':28s} {'':30s} {'':>12s} "
+        f"{result.geomean_achieved:8.2f}x {result.geomean_estimated:9.2f}x "
+        f"{result.mean_error * 100:6.1f}%"
+    )
+    return "\n".join(lines)

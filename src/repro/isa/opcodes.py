@@ -1,0 +1,304 @@
+"""Opcode catalog for the SASS-like ISA.
+
+Each opcode carries the metadata GPA needs:
+
+* an :class:`InstructionClass` used by the opcode-based pruning rule and by
+  the optimizers' matching rules (e.g. Strength Reduction matches *long
+  latency arithmetic* instructions, Fast Math matches SFU-emulated math),
+* a :class:`LatencyClass` distinguishing fixed-latency instructions (whose
+  control code carries stall cycles) from variable-latency instructions
+  (which communicate completion through barrier registers),
+* nominal issue latency and completion latency for a Volta-class machine,
+  following the microbenchmark numbers of Jia et al. (arXiv:1804.06826) at
+  the granularity GPA needs (relative magnitudes for the latency-based
+  pruning rule and for the execution simulator),
+* the memory space touched by memory instructions, used by the Figure 5
+  stall-reason classification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.isa.registers import MemorySpace
+
+
+class InstructionClass(enum.Enum):
+    """Coarse functional class of an opcode."""
+
+    INTEGER = "integer"
+    INTEGER_LONG = "integer_long"  # multi-cycle integer (IMAD.WIDE, emulated division)
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    CONVERSION = "conversion"
+    SFU = "sfu"  # special function unit (MUFU.*): rcp, sqrt, sin, exp ...
+    MEMORY_LOAD = "memory_load"
+    MEMORY_STORE = "memory_store"
+    SYNC = "sync"
+    CONTROL = "control"
+    MOVE = "move"
+    PREDICATE_OP = "predicate_op"
+    SPECIAL = "special"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstructionClass.MEMORY_LOAD, InstructionClass.MEMORY_STORE)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self in (
+            InstructionClass.INTEGER,
+            InstructionClass.INTEGER_LONG,
+            InstructionClass.FLOAT32,
+            InstructionClass.FLOAT64,
+            InstructionClass.CONVERSION,
+            InstructionClass.SFU,
+        )
+
+
+class LatencyClass(enum.Enum):
+    """Whether completion time is known to the assembler.
+
+    Fixed-latency instructions (most arithmetic) are handled by stall cycles
+    in the control code; variable-latency instructions (memory, SFU,
+    barriers) set write/read barriers and their consumers carry wait masks.
+    """
+
+    FIXED = "fixed"
+    VARIABLE = "variable"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static metadata for one opcode."""
+
+    name: str
+    klass: InstructionClass
+    latency_class: LatencyClass
+    #: Cycles until the result may be consumed (fixed-latency) or a typical
+    #: completion latency used by the simulator (variable-latency).
+    latency: int
+    #: Upper-bound latency used by the instruction-latency pruning rule.  For
+    #: fixed-latency instructions this equals ``latency``; for variable
+    #: latency instructions it is a pessimistic bound (e.g. a TLB miss for
+    #: global loads).
+    latency_upper_bound: int
+    #: Address space for memory instructions, ``None`` otherwise.
+    memory_space: Optional[MemorySpace] = None
+    #: Issue cycles occupied on the scheduler (dual-issue is not modelled).
+    issue_cycles: int = 1
+    #: Human-readable description (used in reports and documentation).
+    description: str = ""
+
+    @property
+    def is_load(self) -> bool:
+        return self.klass is InstructionClass.MEMORY_LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.klass is InstructionClass.MEMORY_STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.klass.is_memory
+
+    @property
+    def is_variable_latency(self) -> bool:
+        return self.latency_class is LatencyClass.VARIABLE
+
+    @property
+    def is_synchronization(self) -> bool:
+        return self.klass is InstructionClass.SYNC
+
+    @property
+    def is_control(self) -> bool:
+        return self.klass is InstructionClass.CONTROL
+
+
+def _op(
+    name: str,
+    klass: InstructionClass,
+    latency_class: LatencyClass,
+    latency: int,
+    upper: Optional[int] = None,
+    space: Optional[MemorySpace] = None,
+    description: str = "",
+) -> OpcodeInfo:
+    return OpcodeInfo(
+        name=name,
+        klass=klass,
+        latency_class=latency_class,
+        latency=latency,
+        latency_upper_bound=upper if upper is not None else latency,
+        memory_space=space,
+        description=description,
+    )
+
+
+_FIXED = LatencyClass.FIXED
+_VAR = LatencyClass.VARIABLE
+
+#: Latency upper bound used for global/local memory instructions: the paper
+#: uses "the TLB miss latency as the upper bound latency of global memory
+#: instructions" for the latency-based pruning rule.
+GLOBAL_MEMORY_UPPER_BOUND = 1029
+LOCAL_MEMORY_UPPER_BOUND = 1029
+SHARED_MEMORY_UPPER_BOUND = 64
+CONSTANT_MEMORY_UPPER_BOUND = 658
+
+
+#: The opcode catalog.  Latencies follow Volta microbenchmarking results at
+#: the fidelity GPA requires: 4-cycle core ALU, ~5-cycle IMAD, 8-cycle FP64,
+#: mid-teens SFU/conversion, ~20-30 cycle shared memory, hundreds of cycles
+#: for global/local memory.
+OPCODES: Dict[str, OpcodeInfo] = {
+    op.name: op
+    for op in [
+        # --- integer ALU -------------------------------------------------
+        _op("IADD", InstructionClass.INTEGER, _FIXED, 4, description="32-bit integer add"),
+        _op("IADD3", InstructionClass.INTEGER, _FIXED, 4, description="3-input integer add"),
+        _op("ISUB", InstructionClass.INTEGER, _FIXED, 4, description="32-bit integer subtract"),
+        _op("IMNMX", InstructionClass.INTEGER, _FIXED, 4, description="integer min/max"),
+        _op("SHL", InstructionClass.INTEGER, _FIXED, 4, description="shift left"),
+        _op("SHR", InstructionClass.INTEGER, _FIXED, 4, description="shift right"),
+        _op("SHF", InstructionClass.INTEGER, _FIXED, 4, description="funnel shift"),
+        _op("LOP", InstructionClass.INTEGER, _FIXED, 4, description="logic op"),
+        _op("LOP3", InstructionClass.INTEGER, _FIXED, 4, description="3-input logic op"),
+        _op("LEA", InstructionClass.INTEGER, _FIXED, 4, description="load effective address"),
+        _op("XMAD", InstructionClass.INTEGER, _FIXED, 5, description="16x16+32 multiply-add"),
+        _op("IMAD", InstructionClass.INTEGER_LONG, _FIXED, 5, description="integer multiply-add"),
+        _op("IMUL", InstructionClass.INTEGER_LONG, _FIXED, 13, description="32-bit integer multiply"),
+        _op("IMAD.WIDE", InstructionClass.INTEGER_LONG, _FIXED, 11, description="64-bit integer multiply-add"),
+        _op("IDIV", InstructionClass.INTEGER_LONG, _FIXED, 130,
+            description="emulated integer division (multi-instruction sequence on real HW)"),
+        _op("IABS", InstructionClass.INTEGER, _FIXED, 4, description="integer absolute value"),
+        _op("POPC", InstructionClass.INTEGER, _FIXED, 10, description="population count"),
+        _op("FLO", InstructionClass.INTEGER, _FIXED, 10, description="find leading one"),
+        _op("BFE", InstructionClass.INTEGER, _FIXED, 4, description="bit field extract"),
+        _op("BFI", InstructionClass.INTEGER, _FIXED, 4, description="bit field insert"),
+        # --- 32-bit floating point ---------------------------------------
+        _op("FADD", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 add"),
+        _op("FMUL", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 multiply"),
+        _op("FFMA", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 fused multiply-add"),
+        _op("FMNMX", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 min/max"),
+        _op("FSET", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 compare to register"),
+        _op("FCHK", InstructionClass.FLOAT32, _FIXED, 13, description="fp division range check"),
+        # --- 64-bit floating point ---------------------------------------
+        _op("DADD", InstructionClass.FLOAT64, _FIXED, 8, description="fp64 add"),
+        _op("DMUL", InstructionClass.FLOAT64, _FIXED, 8, description="fp64 multiply"),
+        _op("DFMA", InstructionClass.FLOAT64, _FIXED, 8, description="fp64 fused multiply-add"),
+        _op("DSETP", InstructionClass.FLOAT64, _FIXED, 12, description="fp64 compare to predicate"),
+        # --- conversions ---------------------------------------------------
+        _op("F2F", InstructionClass.CONVERSION, _FIXED, 15,
+            description="float-to-float conversion (e.g. fp32 <-> fp64 demotion/promotion)"),
+        _op("F2I", InstructionClass.CONVERSION, _FIXED, 15, description="float-to-integer conversion"),
+        _op("I2F", InstructionClass.CONVERSION, _FIXED, 15, description="integer-to-float conversion"),
+        _op("I2I", InstructionClass.CONVERSION, _FIXED, 6, description="integer width conversion"),
+        # --- special function unit ----------------------------------------
+        _op("MUFU", InstructionClass.SFU, _VAR, 18, 32,
+            description="multi-function unit op: RCP, RSQ, SQRT, SIN, COS, EX2, LG2"),
+        _op("RRO", InstructionClass.SFU, _FIXED, 15, description="range reduction for MUFU"),
+        # --- predicate / compare ------------------------------------------
+        _op("ISETP", InstructionClass.PREDICATE_OP, _FIXED, 5, description="integer compare to predicate"),
+        _op("FSETP", InstructionClass.PREDICATE_OP, _FIXED, 5, description="fp32 compare to predicate"),
+        _op("PSETP", InstructionClass.PREDICATE_OP, _FIXED, 5, description="predicate logic op"),
+        _op("P2R", InstructionClass.PREDICATE_OP, _FIXED, 4, description="predicates to register"),
+        _op("R2P", InstructionClass.PREDICATE_OP, _FIXED, 4, description="register to predicates"),
+        # --- data movement -------------------------------------------------
+        _op("MOV", InstructionClass.MOVE, _FIXED, 4, description="register move"),
+        _op("MOV32I", InstructionClass.MOVE, _FIXED, 4, description="move 32-bit immediate"),
+        _op("SEL", InstructionClass.MOVE, _FIXED, 4, description="predicated select"),
+        _op("SHFL", InstructionClass.MOVE, _VAR, 25, 35, description="warp shuffle"),
+        _op("VOTE", InstructionClass.MOVE, _FIXED, 4, description="warp vote"),
+        _op("S2R", InstructionClass.SPECIAL, _VAR, 12, 25,
+            description="read special register (thread/block indices)"),
+        _op("CS2R", InstructionClass.SPECIAL, _FIXED, 4, description="fast special register read"),
+        # --- memory: global ------------------------------------------------
+        _op("LDG", InstructionClass.MEMORY_LOAD, _VAR, 400, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.GLOBAL, "global memory load"),
+        _op("STG", InstructionClass.MEMORY_STORE, _VAR, 24, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.GLOBAL, "global memory store"),
+        _op("LD", InstructionClass.MEMORY_LOAD, _VAR, 400, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.GENERIC, "generic load"),
+        _op("ST", InstructionClass.MEMORY_STORE, _VAR, 24, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.GENERIC, "generic store"),
+        _op("RED", InstructionClass.MEMORY_STORE, _VAR, 30, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.GLOBAL, "global reduction"),
+        _op("ATOM", InstructionClass.MEMORY_LOAD, _VAR, 450, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.GLOBAL, "global atomic"),
+        _op("ATOMG", InstructionClass.MEMORY_LOAD, _VAR, 450, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.GLOBAL, "global atomic"),
+        # --- memory: local (register spills) --------------------------------
+        _op("LDL", InstructionClass.MEMORY_LOAD, _VAR, 350, LOCAL_MEMORY_UPPER_BOUND,
+            MemorySpace.LOCAL, "local memory load (register spill reload)"),
+        _op("STL", InstructionClass.MEMORY_STORE, _VAR, 24, LOCAL_MEMORY_UPPER_BOUND,
+            MemorySpace.LOCAL, "local memory store (register spill)"),
+        # --- memory: shared --------------------------------------------------
+        _op("LDS", InstructionClass.MEMORY_LOAD, _VAR, 25, SHARED_MEMORY_UPPER_BOUND,
+            MemorySpace.SHARED, "shared memory load"),
+        _op("STS", InstructionClass.MEMORY_STORE, _VAR, 20, SHARED_MEMORY_UPPER_BOUND,
+            MemorySpace.SHARED, "shared memory store"),
+        _op("ATOMS", InstructionClass.MEMORY_LOAD, _VAR, 40, SHARED_MEMORY_UPPER_BOUND,
+            MemorySpace.SHARED, "shared memory atomic"),
+        # --- memory: constant -------------------------------------------------
+        _op("LDC", InstructionClass.MEMORY_LOAD, _VAR, 30, CONSTANT_MEMORY_UPPER_BOUND,
+            MemorySpace.CONSTANT, "constant memory load"),
+        # --- memory: texture ---------------------------------------------------
+        _op("TEX", InstructionClass.MEMORY_LOAD, _VAR, 440, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.TEXTURE, "texture fetch"),
+        _op("TLD", InstructionClass.MEMORY_LOAD, _VAR, 440, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.TEXTURE, "texture load"),
+        # --- synchronization -----------------------------------------------------
+        _op("BAR", InstructionClass.SYNC, _VAR, 30, 2000, None,
+            "block-wide barrier (__syncthreads)"),
+        _op("MEMBAR", InstructionClass.SYNC, _VAR, 30, 600, None, "memory fence"),
+        _op("DEPBAR", InstructionClass.SYNC, _VAR, 10, 200, None, "dependency barrier"),
+        # --- control flow ------------------------------------------------------
+        _op("BRA", InstructionClass.CONTROL, _FIXED, 5, description="branch"),
+        _op("BRX", InstructionClass.CONTROL, _FIXED, 5, description="indexed branch"),
+        _op("JMP", InstructionClass.CONTROL, _FIXED, 5, description="jump"),
+        _op("CAL", InstructionClass.CONTROL, _FIXED, 6, description="call device function"),
+        _op("CALL", InstructionClass.CONTROL, _FIXED, 6, description="call device function"),
+        _op("RET", InstructionClass.CONTROL, _FIXED, 6, description="return"),
+        _op("EXIT", InstructionClass.CONTROL, _FIXED, 1, description="thread exit"),
+        _op("BSSY", InstructionClass.CONTROL, _FIXED, 4, description="branch synchronization setup"),
+        _op("BSYNC", InstructionClass.CONTROL, _FIXED, 4, description="branch reconvergence"),
+        _op("SSY", InstructionClass.CONTROL, _FIXED, 4, description="set synchronization point"),
+        _op("SYNC", InstructionClass.CONTROL, _FIXED, 4, description="reconverge"),
+        # --- nop ---------------------------------------------------------------
+        _op("NOP", InstructionClass.NOP, _FIXED, 1, description="no operation"),
+    ]
+}
+
+
+def lookup_opcode(name: str) -> OpcodeInfo:
+    """Look up opcode metadata for ``name``.
+
+    The base opcode of a mnemonic with modifiers (``LDG.E.32``) is the part
+    before the first dot, except for multi-part opcodes explicitly present in
+    the catalog (``IMAD.WIDE``).
+    """
+    if name in OPCODES:
+        return OPCODES[name]
+    base = name.split(".", 1)[0]
+    if base in OPCODES:
+        return OPCODES[base]
+    raise KeyError(f"unknown opcode: {name!r}")
+
+
+#: Opcodes whose results are produced through the special function unit and
+#: correspond to CUDA math intrinsics; the Fast Math optimizer matches these.
+SFU_MATH_OPCODES = frozenset({"MUFU", "RRO"})
+
+#: Long-latency arithmetic opcodes matched by the Strength Reduction
+#: optimizer (Table 2: "execution dependency stalls of long latency
+#: arithmetic instructions").
+LONG_LATENCY_ARITHMETIC_THRESHOLD = 8
+
+
+def is_long_latency_arithmetic(info: OpcodeInfo) -> bool:
+    """Whether an opcode counts as "long latency arithmetic" for matching."""
+    return info.klass.is_arithmetic and info.latency >= LONG_LATENCY_ARITHMETIC_THRESHOLD

@@ -1,0 +1,285 @@
+"""Text parser for the SASS-like assembly syntax.
+
+The textual syntax mirrors nvdisasm output closely enough to be familiar::
+
+    @P0 LDG.32 R0, [R2]
+    IADD R8, R0, R7
+    ISETP.GE.AND P0, R3, R4
+    BRA LOOP_HEAD
+    BAR.SYNC
+
+Conventions:
+
+* the first operand of most instructions is the destination; stores
+  (``STG``/``STS``/``STL``/``ST``/``RED``) take the memory operand first;
+* ``ISETP``/``FSETP``/``DSETP``/``PSETP`` write predicate destinations;
+* memory operands are written ``[R2]`` or ``[R2+0x10]``; their address space
+  is implied by the opcode (``LDG`` is global, ``LDS`` shared, ...);
+* an optional trailing control code in the bracket notation produced by
+  :meth:`repro.isa.instruction.ControlCode.render` (``[B01:W0:R-:S4:Y]``) is
+  parsed back into the instruction, so ``parse`` and ``render`` round-trip;
+* ``parse_program`` accepts labels (``NAME:``) and resolves branch targets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import INSTRUCTION_SIZE, ControlCode, Instruction
+from repro.isa.opcodes import lookup_opcode
+from repro.isa.registers import (
+    ALWAYS,
+    ImmediateOperand,
+    MemoryOperand,
+    MemorySpace,
+    Predicate,
+    RegisterOperand,
+    SpecialRegister,
+    TRUE_PREDICATE_INDEX,
+    ZERO_REGISTER_INDEX,
+)
+
+
+class ParseError(ValueError):
+    """Raised when assembly text cannot be parsed."""
+
+
+#: Opcodes whose first operand is a memory destination rather than a
+#: register destination.
+_STORE_OPCODES = {"STG", "STS", "STL", "ST", "RED"}
+
+#: Opcodes that write one (or two) predicate destinations.
+_PREDICATE_DEST_OPCODES = {"ISETP", "FSETP", "DSETP", "PSETP", "R2P"}
+
+#: Opcodes with no register destination at all.
+_NO_DEST_OPCODES = {"BRA", "BRX", "JMP", "CAL", "CALL", "RET", "EXIT", "BAR",
+                    "MEMBAR", "DEPBAR", "BSSY", "BSYNC", "SSY", "SYNC", "NOP"}
+
+_MEMORY_SPACE_BY_OPCODE = {
+    "LDG": MemorySpace.GLOBAL, "STG": MemorySpace.GLOBAL, "ATOM": MemorySpace.GLOBAL,
+    "ATOMG": MemorySpace.GLOBAL, "RED": MemorySpace.GLOBAL,
+    "LDL": MemorySpace.LOCAL, "STL": MemorySpace.LOCAL,
+    "LDS": MemorySpace.SHARED, "STS": MemorySpace.SHARED, "ATOMS": MemorySpace.SHARED,
+    "LDC": MemorySpace.CONSTANT,
+    "LD": MemorySpace.GENERIC, "ST": MemorySpace.GENERIC,
+    "TEX": MemorySpace.TEXTURE, "TLD": MemorySpace.TEXTURE,
+}
+
+_CONTROL_RE = re.compile(
+    r"\[B(?P<wait>[0-5\-]+):W(?P<wbar>[0-5\-]):R(?P<rbar>[0-5\-]):S(?P<stall>\d+):(?P<yield>[Y\-])\]$"
+)
+_OFFSET_RE = re.compile(r"^/\*(?P<offset>[0-9a-fA-F]+)\*/\s*")
+_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_][A-Za-z0-9_.$]*):\s*$")
+_MEMORY_RE = re.compile(
+    r"^\[(?P<base>RZ|R\d+)(?:\s*\+\s*(?P<offset>-?(?:0x[0-9a-fA-F]+|\d+)))?\]$"
+)
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 16) if text.lower().startswith(("0x", "-0x")) else int(text)
+
+
+def _parse_operand(token: str, space: Optional[MemorySpace]) -> object:
+    """Parse a single operand token."""
+    token = token.strip()
+    if not token:
+        raise ParseError("empty operand")
+    if token == "RZ":
+        return RegisterOperand(ZERO_REGISTER_INDEX)
+    if re.fullmatch(r"R\d+", token):
+        return RegisterOperand(int(token[1:]))
+    if token == "PT":
+        return Predicate(TRUE_PREDICATE_INDEX)
+    if token == "!PT":
+        return Predicate(TRUE_PREDICATE_INDEX, negated=True)
+    if re.fullmatch(r"!?P\d", token):
+        negated = token.startswith("!")
+        return Predicate(int(token[-1]), negated=negated)
+    if re.fullmatch(r"B[0-5]", token):
+        from repro.isa.registers import BarrierRegister
+
+        return BarrierRegister(int(token[1]))
+    match = _MEMORY_RE.match(token)
+    if match:
+        base_text = match.group("base")
+        base = (
+            RegisterOperand(ZERO_REGISTER_INDEX)
+            if base_text == "RZ"
+            else RegisterOperand(int(base_text[1:]))
+        )
+        offset = _parse_int(match.group("offset")) if match.group("offset") else 0
+        return MemoryOperand(base=base, offset=offset, space=space or MemorySpace.GLOBAL)
+    if token.startswith("SR_"):
+        return SpecialRegister(token)
+    if re.fullmatch(r"-?(?:0x[0-9a-fA-F]+|\d+)", token):
+        return ImmediateOperand(float(_parse_int(token)))
+    if re.fullmatch(r"-?\d+\.\d*(?:[eE][-+]?\d+)?", token):
+        return ImmediateOperand(float(token), is_double="." in token)
+    raise ParseError(f"cannot parse operand: {token!r}")
+
+
+def _parse_control(text: str) -> ControlCode:
+    match = _CONTROL_RE.match(text)
+    if not match:
+        raise ParseError(f"cannot parse control code: {text!r}")
+    wait_text = match.group("wait")
+    wait = frozenset(int(c) for c in wait_text if c != "-")
+    wbar = None if match.group("wbar") == "-" else int(match.group("wbar"))
+    rbar = None if match.group("rbar") == "-" else int(match.group("rbar"))
+    return ControlCode(
+        stall_cycles=int(match.group("stall")),
+        yield_flag=match.group("yield") == "Y",
+        write_barrier=wbar,
+        read_barrier=rbar,
+        wait_mask=wait,
+    )
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on commas that are not inside brackets."""
+    operands: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+def parse_instruction(
+    text: str,
+    offset: int = 0,
+    labels: Optional[Dict[str, int]] = None,
+    line: Optional[int] = None,
+) -> Instruction:
+    """Parse a single instruction from assembly text.
+
+    ``labels`` maps label names to instruction offsets so branch targets
+    written symbolically can be resolved; unresolved symbolic targets raise
+    :class:`ParseError`.
+    """
+    original = text
+    text = text.split(";")[0].strip() if ";" in text and "[" not in text.split(";")[1] else text.strip()
+    if not text:
+        raise ParseError("empty instruction text")
+
+    offset_match = _OFFSET_RE.match(text)
+    if offset_match:
+        offset = int(offset_match.group("offset"), 16)
+        text = text[offset_match.end():].strip()
+
+    control = ControlCode()
+    control_match = re.search(r"\[B[0-5\-]+:W[0-5\-]:R[0-5\-]:S\d+:[Y\-]\]\s*$", text)
+    if control_match:
+        control = _parse_control(control_match.group(0).strip())
+        text = text[: control_match.start()].strip()
+
+    predicate = ALWAYS
+    if text.startswith("@"):
+        guard, _, rest = text.partition(" ")
+        guard = guard[1:]
+        pred_operand = _parse_operand(guard, None)
+        if not isinstance(pred_operand, Predicate):
+            raise ParseError(f"invalid guard predicate in {original!r}")
+        predicate = pred_operand
+        text = rest.strip()
+
+    if not text:
+        raise ParseError(f"missing opcode in {original!r}")
+
+    mnemonic, _, operand_text = text.partition(" ")
+    parts = mnemonic.split(".")
+    opcode, modifiers = parts[0], tuple(parts[1:])
+    try:
+        lookup_opcode(opcode)
+    except KeyError as exc:
+        raise ParseError(str(exc)) from exc
+
+    space = _MEMORY_SPACE_BY_OPCODE.get(opcode)
+    operand_tokens = _split_operands(operand_text) if operand_text.strip() else []
+
+    target: Optional[int] = None
+    dests: List[object] = []
+    sources: List[object] = []
+
+    if opcode in ("BRA", "BRX", "JMP", "CAL", "CALL", "SSY", "BSSY"):
+        if operand_tokens:
+            token = operand_tokens[0]
+            if labels and token in labels:
+                target = labels[token]
+            elif re.fullmatch(r"-?(?:0x[0-9a-fA-F]+|\d+)", token):
+                target = _parse_int(token)
+            else:
+                raise ParseError(f"unresolved branch target {token!r}")
+            operand_tokens = operand_tokens[1:]
+        sources.extend(_parse_operand(tok, space) for tok in operand_tokens)
+    else:
+        operands = [_parse_operand(tok, space) for tok in operand_tokens]
+        if opcode in _STORE_OPCODES:
+            if operands and isinstance(operands[0], MemoryOperand):
+                dests.append(operands[0])
+                sources.extend(operands[1:])
+            else:
+                sources.extend(operands)
+        elif opcode in _PREDICATE_DEST_OPCODES:
+            while operands and isinstance(operands[0], Predicate):
+                dests.append(operands.pop(0))
+            sources.extend(operands)
+        elif opcode in _NO_DEST_OPCODES:
+            sources.extend(operands)
+        else:
+            if operands:
+                dests.append(operands[0])
+                sources.extend(operands[1:])
+
+    return Instruction(
+        offset=offset,
+        opcode=opcode,
+        modifiers=modifiers,
+        predicate=predicate,
+        dests=tuple(dests),
+        sources=tuple(sources),
+        control=control,
+        target=target,
+        line=line,
+    )
+
+
+def parse_program(text: str) -> List[Instruction]:
+    """Parse a multi-line assembly listing into a list of instructions.
+
+    Supports blank lines, ``#`` / ``//`` comments, labels (``NAME:``) and
+    symbolic branch targets.  Instructions are laid out at consecutive
+    16-byte offsets starting from 0.
+    """
+    raw_lines = text.splitlines()
+    # First pass: discover labels and instruction offsets.
+    labels: Dict[str, int] = {}
+    instruction_lines: List[Tuple[str, int]] = []
+    offset = 0
+    for raw in raw_lines:
+        stripped = raw.split("#")[0].split("//")[0].strip()
+        if not stripped:
+            continue
+        label_match = _LABEL_RE.match(stripped)
+        if label_match:
+            labels[label_match.group("label")] = offset
+            continue
+        instruction_lines.append((stripped, offset))
+        offset += INSTRUCTION_SIZE
+
+    instructions = [
+        parse_instruction(line_text, offset=line_offset, labels=labels)
+        for line_text, line_offset in instruction_lines
+    ]
+    return instructions

@@ -1,0 +1,60 @@
+"""Performance optimizers (Section 5.1, Table 2).
+
+Each optimizer encodes the rules that match its inefficiency pattern against
+the blamed stalls, the program structure and the architectural features, and
+uses the appropriate estimator to translate the match into an estimated
+speedup.  GPA is modular: custom optimizers can be added by subclassing
+:class:`~repro.optimizers.base.Optimizer` and registering them.
+
+Code optimizers / stall elimination:
+    Register Reuse, Strength Reduction, Function Split, Fast Math,
+    Warp Balance, Memory Transaction Reduction.
+Code optimizers / latency hiding:
+    Loop Unrolling, Code Reordering, Function Inlining.
+Parallel optimizers:
+    Block Increase, Thread Increase.
+"""
+
+from repro.optimizers.base import (
+    AnalysisContext,
+    Hotspot,
+    OptimizationAdvice,
+    Optimizer,
+    OptimizerCategory,
+)
+from repro.optimizers.stall_elimination import (
+    FastMathOptimizer,
+    FunctionSplitOptimizer,
+    MemoryTransactionReductionOptimizer,
+    RegisterReuseOptimizer,
+    StrengthReductionOptimizer,
+    WarpBalanceOptimizer,
+)
+from repro.optimizers.latency_hiding import (
+    CodeReorderingOptimizer,
+    FunctionInliningOptimizer,
+    LoopUnrollingOptimizer,
+)
+from repro.optimizers.parallel import BlockIncreaseOptimizer, ThreadIncreaseOptimizer
+from repro.optimizers.registry import OptimizerRegistry, default_optimizers
+
+__all__ = [
+    "AnalysisContext",
+    "BlockIncreaseOptimizer",
+    "CodeReorderingOptimizer",
+    "FastMathOptimizer",
+    "FunctionInliningOptimizer",
+    "FunctionSplitOptimizer",
+    "Hotspot",
+    "LoopUnrollingOptimizer",
+    "MemoryTransactionReductionOptimizer",
+    "OptimizationAdvice",
+    "Optimizer",
+    "OptimizerCategory",
+    "OptimizerRegistry",
+    "RegisterReuseOptimizer",
+    "StrengthReductionOptimizer",
+    "ThreadIncreaseOptimizer",
+    "WarpBalanceOptimizer",
+    "default_optimizers",
+]

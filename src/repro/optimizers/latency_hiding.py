@@ -1,0 +1,182 @@
+"""Latency-hiding optimizers (the lower half of Table 2's code optimizers).
+
+Latency-hiding optimizations rearrange issue order so that independent work
+covers stall latency (Figure 6).  Their benefit is bounded by the active
+samples available in the scope they may rearrange (Equations 4 and 5) and is
+never more than 2x (Theorem 5.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.blame.attribution import BlamedEdge
+from repro.estimators.code import (
+    combined_scoped_speedup,
+    latency_hiding_speedup,
+    scoped_latency_hiding_speedup,
+)
+from repro.optimizers.base import AnalysisContext, OptimizationAdvice, Optimizer, OptimizerCategory
+from repro.sampling.stall_reasons import DetailedStallReason, StallReason
+
+#: Dependent stall classes that latency hiding can cover: global memory
+#: latency and execution (arithmetic / shared-memory) latency.
+_HIDEABLE_DETAILS = (
+    DetailedStallReason.GLOBAL_MEMORY_DEPENDENCY,
+    DetailedStallReason.ARITHMETIC_DEPENDENCY,
+    DetailedStallReason.SHARED_MEMORY_DEPENDENCY,
+)
+
+
+def _hideable(edge: BlamedEdge) -> bool:
+    if edge.reason not in (StallReason.MEMORY_DEPENDENCY, StallReason.EXECUTION_DEPENDENCY):
+        return False
+    return edge.detail in _HIDEABLE_DETAILS
+
+
+class LoopUnrollingOptimizer(Optimizer):
+    """Match global memory and execution dependency stalls inside loops."""
+
+    name = "GPULoopUnrollingOptimizer"
+    category = OptimizerCategory.LATENCY_HIDING
+    description = "Dependent stalls whose def and use sit in the same loop"
+    suggestions = (
+        "Loops with dependent stalls can be unrolled so independent "
+        "iterations hide each other's latency.",
+        "1. Add #pragma unroll (with an explicit factor) to the hot loop if "
+        "the compiler fails to unroll it automatically.",
+        "2. Unroll manually and interleave loads of iteration i+1 with "
+        "computation of iteration i.",
+        "3. Check that the trip count is large enough for unrolling to pay "
+        "off; highly imbalanced loops benefit less.",
+    )
+
+    def match(self, context: AnalysisContext) -> OptimizationAdvice:
+        matched: List[BlamedEdge] = []
+        per_loop: Dict[Tuple[str, int], float] = defaultdict(float)
+        for edge in context.blame.edges:
+            if not _hideable(edge) or edge.is_self_blame:
+                continue
+            if not context.same_loop(edge.source, edge.dest):
+                continue
+            loop = context.innermost_loop(edge.dest)
+            if loop is None:
+                continue
+            matched.append(edge)
+            per_loop[(edge.dest[0], loop.index)] += edge.stalls
+
+        # Equation 5 per loop: the hidden latency of each matched loop is
+        # bounded by the active samples available in the loop and its nested
+        # loops.
+        per_scope = {}
+        loop_details = []
+        for (function_name, loop_index), matched_latency in per_loop.items():
+            loop = context.structure.function(function_name).loop_nest.loop(loop_index)
+            active = context.active_samples_in_loop(function_name, loop, nested=True)
+            per_scope[(function_name, loop_index)] = (active, matched_latency)
+            loop_details.append(
+                {
+                    "function": function_name,
+                    "loop_header_line": loop.header_line,
+                    "matched_latency_samples": matched_latency,
+                    "active_samples_in_scope": active,
+                    "scope_speedup": scoped_latency_hiding_speedup(
+                        context.total_samples, [active], matched_latency
+                    ),
+                }
+            )
+
+        samples = sum(edge.stalls for edge in matched)
+        speedup = combined_scoped_speedup(context.total_samples, per_scope)
+        return self._advice(
+            context,
+            samples,
+            speedup,
+            context.build_hotspots(matched),
+            details={"loops": sorted(loop_details, key=lambda d: -d["matched_latency_samples"])},
+        )
+
+
+class CodeReorderingOptimizer(Optimizer):
+    """Match global memory and execution dependency stalls (short def-use distance)."""
+
+    name = "GPUCodeReorderingOptimizer"
+    category = OptimizerCategory.LATENCY_HIDING
+    description = "Dependent stalls whose def-use distance is short enough to widen"
+    suggestions = (
+        "The distance between a load (or long-latency producer) and its first "
+        "use is too short to hide the latency.",
+        "1. Separate subscripted loads from their uses by reordering code: "
+        "read values needed by the next iteration before the synchronization "
+        "or computation of the current one.",
+        "2. Hoist address computation and loads above independent work.",
+        "3. Watch data-dependence and synchronization restrictions: "
+        "instructions after a barrier cannot be moved before it.",
+    )
+
+    def match(self, context: AnalysisContext) -> OptimizationAdvice:
+        matched: List[BlamedEdge] = []
+        per_function: Dict[str, float] = defaultdict(float)
+        for edge in context.blame.edges:
+            if not _hideable(edge) or edge.is_self_blame:
+                continue
+            matched.append(edge)
+            per_function[edge.dest[0]] += edge.stalls
+
+        per_scope = {}
+        for function_name, matched_latency in per_function.items():
+            active = context.active_samples_in_function(function_name)
+            per_scope[function_name] = (active, matched_latency)
+
+        samples = sum(edge.stalls for edge in matched)
+        speedup = combined_scoped_speedup(context.total_samples, per_scope)
+        # Prefer hotspots with the shortest def/use distance: those are the
+        # pairs reordering can actually improve.
+        hotspots = context.build_hotspots(matched)
+        return self._advice(
+            context,
+            samples,
+            speedup,
+            hotspots,
+            details={
+                "functions": {
+                    name: {"matched_latency_samples": value, "active_samples": active}
+                    for name, (active, value) in per_scope.items()
+                }
+            },
+        )
+
+
+class FunctionInliningOptimizer(Optimizer):
+    """Match stalls in device functions and their call sites."""
+
+    name = "GPUFunctionInliningOptimizer"
+    category = OptimizerCategory.LATENCY_HIDING
+    description = "Stalls inside non-inlined device functions and at their call sites"
+    suggestions = (
+        "Calls to device functions prevent the compiler from scheduling the "
+        "callee's loads together with the caller's independent work.",
+        "1. Mark small, hot device functions __forceinline__ (the "
+        "always_inline attribute may be refused when the register/size limit "
+        "is exceeded).",
+        "2. Manually integrate very hot small callees into their callers.",
+        "3. For large callees consider outlining cold paths instead, so the "
+        "hot path can be inlined.",
+    )
+
+    def match(self, context: AnalysisContext) -> OptimizationAdvice:
+        matched: List[BlamedEdge] = []
+        for edge in context.blame.edges:
+            dest_function = context.structure.function(edge.dest[0])
+            if not dest_function.is_kernel:
+                matched.append(edge)
+                continue
+            dest_instruction = context.instruction(edge.dest)
+            if dest_instruction.is_call:
+                matched.append(edge)
+        samples = sum(edge.stalls for edge in matched)
+        speedup = latency_hiding_speedup(
+            context.total_samples, context.active_samples, samples
+        )
+        return self._advice(context, samples, speedup, context.build_hotspots(matched))

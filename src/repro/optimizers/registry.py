@@ -1,0 +1,80 @@
+"""Optimizer registry.
+
+GPA is organized so that custom optimizers can be added to match other
+inefficiency patterns (the paper mentions texture fetch combination as an
+example).  The registry holds the optimizer set used by the advisor; the
+default set is the eleven optimizers of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.optimizers.base import Optimizer
+from repro.optimizers.latency_hiding import (
+    CodeReorderingOptimizer,
+    FunctionInliningOptimizer,
+    LoopUnrollingOptimizer,
+)
+from repro.optimizers.parallel import BlockIncreaseOptimizer, ThreadIncreaseOptimizer
+from repro.optimizers.stall_elimination import (
+    FastMathOptimizer,
+    FunctionSplitOptimizer,
+    MemoryTransactionReductionOptimizer,
+    RegisterReuseOptimizer,
+    StrengthReductionOptimizer,
+    WarpBalanceOptimizer,
+)
+
+
+def default_optimizers() -> List[Optimizer]:
+    """The eleven optimizers of Table 2, in the paper's order."""
+    return [
+        RegisterReuseOptimizer(),
+        StrengthReductionOptimizer(),
+        FunctionSplitOptimizer(),
+        FastMathOptimizer(),
+        WarpBalanceOptimizer(),
+        MemoryTransactionReductionOptimizer(),
+        LoopUnrollingOptimizer(),
+        CodeReorderingOptimizer(),
+        FunctionInliningOptimizer(),
+        BlockIncreaseOptimizer(),
+        ThreadIncreaseOptimizer(),
+    ]
+
+
+class OptimizerRegistry:
+    """A named collection of optimizers with add/remove/lookup support."""
+
+    def __init__(self, optimizers: Optional[Iterable[Optimizer]] = None):
+        self._optimizers: Dict[str, Optimizer] = {}
+        for optimizer in optimizers if optimizers is not None else default_optimizers():
+            self.register(optimizer)
+
+    def register(self, optimizer: Optimizer) -> None:
+        """Add (or replace) an optimizer, keyed by its name."""
+        self._optimizers[optimizer.name] = optimizer
+
+    def unregister(self, name: str) -> None:
+        self._optimizers.pop(name, None)
+
+    def get(self, name: str) -> Optimizer:
+        try:
+            return self._optimizers[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"no optimizer named {name!r}; registered: {sorted(self._optimizers)}"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._optimizers
+
+    def __iter__(self):
+        return iter(self._optimizers.values())
+
+    def __len__(self) -> int:
+        return len(self._optimizers)
+
+    def names(self) -> List[str]:
+        return list(self._optimizers)

@@ -1,0 +1,219 @@
+"""Stall-elimination optimizers (the upper half of Table 2).
+
+Each optimizer matches a family of blamed stalls and estimates its speedup
+with Equation 2 (``S_e = T / (T - M)``): the best case is that the matched
+stalls disappear entirely after the code change.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.blame.attribution import BlamedEdge
+from repro.estimators.code import stall_elimination_speedup
+from repro.isa.opcodes import SFU_MATH_OPCODES, is_long_latency_arithmetic
+from repro.optimizers.base import AnalysisContext, OptimizationAdvice, Optimizer, OptimizerCategory
+from repro.sampling.stall_reasons import DetailedStallReason, StallReason
+
+#: Substrings that identify CUDA math routines in inline stacks.
+_MATH_FUNCTION_HINTS = (
+    "exp", "log", "pow", "sqrt", "rsqrt", "sin", "cos", "tan", "div", "rcp",
+    "__internal", "erf", "cbrt",
+)
+
+
+def _inline_stack_is_math(inline_stack) -> bool:
+    return any(
+        hint in frame.lower() for frame in inline_stack for hint in _MATH_FUNCTION_HINTS
+    )
+
+
+class RegisterReuseOptimizer(Optimizer):
+    """Match memory dependency stalls of local memory read/write instructions.
+
+    Local-memory traffic is almost always register spilling; the fix is to
+    reduce register pressure (split loops or functions, recompute values, use
+    launch bounds) so values stay in registers.
+    """
+
+    name = "GPURegisterReuseOptimizer"
+    category = OptimizerCategory.STALL_ELIMINATION
+    description = "Local memory (register spill) dependency stalls"
+    suggestions = (
+        "Local memory stalls usually indicate register spills. Reduce register "
+        "pressure so values are reused from registers instead of local memory.",
+        "1. Split a large loop body or function into smaller pieces so fewer "
+        "values are live at the same time.",
+        "2. Recompute cheap expressions instead of keeping them live across "
+        "long regions.",
+        "3. Tune __launch_bounds__ / maxrregcount so the compiler does not "
+        "spill hot values.",
+    )
+
+    def match(self, context: AnalysisContext) -> OptimizationAdvice:
+        matched: List[BlamedEdge] = []
+        for edge in context.blame.edges:
+            if edge.detail is DetailedStallReason.LOCAL_MEMORY_DEPENDENCY:
+                matched.append(edge)
+            elif edge.is_self_blame:
+                instruction = context.instruction(edge.dest)
+                if instruction.opcode in ("LDL", "STL"):
+                    matched.append(edge)
+        samples = sum(edge.stalls for edge in matched)
+        speedup = stall_elimination_speedup(context.total_samples, samples)
+        return self._advice(context, samples, speedup, context.build_hotspots(matched))
+
+
+class StrengthReductionOptimizer(Optimizer):
+    """Match execution dependency stalls of long latency arithmetic instructions."""
+
+    name = "GPUStrengthReductionOptimizer"
+    category = OptimizerCategory.STALL_ELIMINATION
+    description = "Execution dependency stalls caused by long-latency arithmetic"
+    suggestions = (
+        "Long latency non-memory instructions are used. Look for improvements "
+        "that are mathematically equivalent, but the compiler is not "
+        "intelligent enough to do so.",
+        "1. Avoid integer division. Integer division requires using a special "
+        "function unit to perform floating point transformations. One can use "
+        "multiplication by a reciprocal instead.",
+        "2. Avoid conversion. If a float constant is multiplied by a 32-bit "
+        "float value, the compiler might transform the 32-bit value to a "
+        "64-bit value first; specify the constant as a 32-bit value (e.g. "
+        "2.0f) to avoid the conversion.",
+        "3. Replace multiplies/divides by powers of two with shifts where "
+        "the compiler cannot prove it safe.",
+    )
+
+    def match(self, context: AnalysisContext) -> OptimizationAdvice:
+        matched: List[BlamedEdge] = []
+        for edge in context.blame.edges:
+            if edge.reason is not StallReason.EXECUTION_DEPENDENCY:
+                continue
+            if edge.detail is not DetailedStallReason.ARITHMETIC_DEPENDENCY:
+                continue
+            source_instruction = context.instruction(edge.source)
+            info = source_instruction.info
+            if info.klass.name == "SFU":
+                continue  # SFU math belongs to the Fast Math optimizer.
+            if is_long_latency_arithmetic(info):
+                matched.append(edge)
+        samples = sum(edge.stalls for edge in matched)
+        speedup = stall_elimination_speedup(context.total_samples, samples)
+        return self._advice(context, samples, speedup, context.build_hotspots(matched))
+
+
+class FunctionSplitOptimizer(Optimizer):
+    """Match instruction fetch stalls."""
+
+    name = "GPUFunctionSplitOptimizer"
+    category = OptimizerCategory.STALL_ELIMINATION
+    description = "Instruction fetch stalls from instruction-cache pressure"
+    suggestions = (
+        "The kernel's instruction footprint exceeds the instruction cache.",
+        "1. Split a large kernel or device function into smaller functions so "
+        "the hot path fits in the instruction cache.",
+        "2. Avoid forced inlining of large callees and excessive loop "
+        "unrolling that bloat the code.",
+    )
+
+    def match(self, context: AnalysisContext) -> OptimizationAdvice:
+        matched = [
+            edge
+            for edge in context.blame.edges
+            if edge.reason is StallReason.INSTRUCTION_FETCH
+        ]
+        samples = sum(edge.stalls for edge in matched)
+        speedup = stall_elimination_speedup(context.total_samples, samples)
+        return self._advice(context, samples, speedup, context.build_hotspots(matched))
+
+
+class FastMathOptimizer(Optimizer):
+    """Match stalls in CUDA math functions."""
+
+    name = "GPUFastMathOptimizer"
+    category = OptimizerCategory.STALL_ELIMINATION
+    description = "Stalls in high-precision CUDA math routines"
+    suggestions = (
+        "High precision math functions dominate the stalls.",
+        "1. Compile with --use_fast_math if the application tolerates reduced "
+        "precision.",
+        "2. Replace double-precision math calls with their single-precision "
+        "or intrinsic counterparts (__expf, __logf, __fdividef).",
+    )
+
+    def match(self, context: AnalysisContext) -> OptimizationAdvice:
+        matched: List[BlamedEdge] = []
+        for edge in context.blame.edges:
+            source_instruction = context.instruction(edge.source)
+            info = source_instruction.info
+            in_math_inline = _inline_stack_is_math(source_instruction.inline_stack)
+            if source_instruction.opcode in SFU_MATH_OPCODES:
+                matched.append(edge)
+            elif in_math_inline and edge.reason in (
+                StallReason.EXECUTION_DEPENDENCY,
+                StallReason.MEMORY_DEPENDENCY,
+                StallReason.INSTRUCTION_FETCH,
+            ):
+                matched.append(edge)
+            elif info.klass.name == "FLOAT64" and in_math_inline:
+                matched.append(edge)
+        samples = sum(edge.stalls for edge in matched)
+        speedup = stall_elimination_speedup(context.total_samples, samples)
+        return self._advice(context, samples, speedup, context.build_hotspots(matched))
+
+
+class WarpBalanceOptimizer(Optimizer):
+    """Match warp synchronization stalls."""
+
+    name = "GPUWarpBalanceOptimizer"
+    category = OptimizerCategory.STALL_ELIMINATION
+    description = "Synchronization stalls from imbalanced warps"
+    suggestions = (
+        "Warps wait for each other at __syncthreads barriers.",
+        "1. Balance the work performed by different warps of a block before "
+        "the barrier (distribute rows/elements evenly).",
+        "2. Remove barriers that are not required for correctness, or use "
+        "warp-level primitives (__syncwarp, shuffles) instead of block-wide "
+        "barriers.",
+        "3. Reduce divergence so all warps reach the barrier at similar times.",
+    )
+
+    def match(self, context: AnalysisContext) -> OptimizationAdvice:
+        matched = [
+            edge
+            for edge in context.blame.edges
+            if edge.reason is StallReason.SYNCHRONIZATION
+            or edge.detail is DetailedStallReason.SYNCHRONIZATION
+        ]
+        samples = sum(edge.stalls for edge in matched)
+        speedup = stall_elimination_speedup(context.total_samples, samples)
+        return self._advice(context, samples, speedup, context.build_hotspots(matched))
+
+
+class MemoryTransactionReductionOptimizer(Optimizer):
+    """Match global memory throttling stalls."""
+
+    name = "GPUMemoryTransactionReductionOptimizer"
+    category = OptimizerCategory.STALL_ELIMINATION
+    description = "Memory throttle stalls from excessive memory transactions"
+    suggestions = (
+        "The memory pipeline is saturated by too many transactions.",
+        "1. Coalesce global memory accesses so each warp issues fewer "
+        "transactions.",
+        "2. Replace global memory reads with constant memory reads if "
+        "elements are shared between threads and not changed during "
+        "execution.",
+        "3. Use wider vector loads (e.g. float4) and shared-memory staging to "
+        "reduce the transaction count.",
+    )
+
+    def match(self, context: AnalysisContext) -> OptimizationAdvice:
+        matched = [
+            edge
+            for edge in context.blame.edges
+            if edge.reason is StallReason.MEMORY_THROTTLE
+        ]
+        samples = sum(edge.stalls for edge in matched)
+        speedup = stall_elimination_speedup(context.total_samples, samples)
+        return self._advice(context, samples, speedup, context.build_hotspots(matched))

@@ -1,0 +1,191 @@
+"""The profiler facade.
+
+The paper's profiler collects PC samples and kernel launch statistics at
+runtime, attributes them to the launch context, and dumps profiles plus
+CUBINs for offline analysis.  Our :class:`Profiler` plays the same role on
+top of the simulator: given a CUBIN, a kernel, a launch configuration and a
+workload specification it
+
+1. recovers the program structure (the static-analysis pre-pass it shares
+   with the advisor),
+2. computes the occupancy of the launch,
+3. generates per-warp traces and simulates one wave on one SM,
+4. aggregates the samples into a :class:`~repro.sampling.sample.KernelProfile`
+   with launch statistics attached, and
+5. can dump/load profiles as JSON for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.arch.machine import GpuArchitecture, VoltaV100, get_architecture
+from repro.arch.occupancy import OccupancyCalculator, OccupancyResult
+from repro.cubin.binary import Cubin
+from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
+from repro.sampling.simulator import SimulationResult, SMSimulator
+from repro.sampling.trace import generate_warp_trace
+from repro.sampling.workload import WorkloadSpec
+from repro.structure.program import ProgramStructure, build_program_structure
+
+
+@dataclass
+class ProfiledKernel:
+    """Everything GPA's dynamic analyzer needs about one kernel launch."""
+
+    kernel: str
+    profile: KernelProfile
+    structure: ProgramStructure
+    cubin: Cubin
+    config: LaunchConfig
+    workload: WorkloadSpec
+    occupancy: OccupancyResult
+    simulation: SimulationResult
+
+    @property
+    def kernel_cycles(self) -> float:
+        """Estimated kernel duration in cycles."""
+        return self.profile.statistics.kernel_cycles
+
+
+class Profiler:
+    """Runs kernel launches on the simulator and produces profiles."""
+
+    def __init__(
+        self,
+        architecture: Optional[GpuArchitecture] = None,
+        sample_period: int = 32,
+        keep_samples: bool = False,
+        max_cycles: int = 4_000_000,
+    ):
+        self.architecture = architecture or VoltaV100
+        self.sample_period = sample_period
+        self.keep_samples = keep_samples
+        self.max_cycles = max_cycles
+
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        cubin: Cubin,
+        kernel_name: str,
+        config: LaunchConfig,
+        workload: Optional[WorkloadSpec] = None,
+    ) -> ProfiledKernel:
+        """Profile one kernel launch."""
+        workload = workload or WorkloadSpec()
+        architecture = self._architecture_for(cubin)
+        structure = build_program_structure(cubin)
+        kernel_function = cubin.function(kernel_name)
+        if not kernel_function.is_kernel:
+            raise ValueError(f"{kernel_name!r} is a device function, not a kernel")
+
+        shared_memory = max(config.shared_memory_bytes, kernel_function.shared_memory_bytes)
+        occupancy = OccupancyCalculator(architecture).calculate(
+            grid_blocks=config.grid_blocks,
+            threads_per_block=config.threads_per_block,
+            registers_per_thread=kernel_function.registers_per_thread,
+            shared_memory_per_block=shared_memory,
+        )
+
+        warps_per_block = math.ceil(config.threads_per_block / architecture.warp_size)
+        blocks_on_sm = max(1, occupancy.blocks_per_sm)
+        total_grid_warps = config.grid_blocks * warps_per_block
+
+        # Pick representative blocks spread across the grid so that per-warp
+        # workload variation (imbalance) is visible to the simulated SM.
+        representative_blocks = [
+            (i * config.grid_blocks) // blocks_on_sm for i in range(blocks_on_sm)
+        ]
+
+        traces = []
+        block_of_warp = []
+        for local_block, grid_block in enumerate(representative_blocks):
+            for warp_in_block in range(warps_per_block):
+                global_warp_id = grid_block * warps_per_block + warp_in_block
+                traces.append(
+                    generate_warp_trace(
+                        structure,
+                        kernel_name,
+                        workload,
+                        architecture,
+                        warp_id=global_warp_id,
+                        num_warps=total_grid_warps,
+                    )
+                )
+                block_of_warp.append(local_block)
+
+        simulator = SMSimulator(
+            architecture,
+            sample_period=self.sample_period,
+            keep_samples=self.keep_samples,
+            max_cycles=self.max_cycles,
+        )
+        simulation = simulator.simulate(kernel_name, traces, block_of_warp)
+
+        waves = max(1.0, occupancy.waves)
+        statistics = LaunchStatistics(
+            kernel=kernel_name,
+            config=config,
+            registers_per_thread=kernel_function.registers_per_thread,
+            blocks_per_sm=occupancy.blocks_per_sm,
+            warps_per_sm=occupancy.warps_per_sm,
+            warps_per_scheduler=occupancy.warps_per_scheduler,
+            occupancy=occupancy.occupancy,
+            occupancy_limiter=occupancy.limiter,
+            waves=occupancy.waves,
+            wave_cycles=simulation.wave_cycles,
+            kernel_cycles=simulation.wave_cycles * waves,
+            sample_period=self.sample_period,
+        )
+
+        profile = KernelProfile(kernel=kernel_name, statistics=statistics)
+        for (function, offset), reasons in simulation.stall_counts.items():
+            for reason, count in reasons.items():
+                profile.record_stall(function, offset, reason, count)
+        for (function, offset), count in simulation.issue_counts.items():
+            profile.record_issue(function, offset, count)
+
+        return ProfiledKernel(
+            kernel=kernel_name,
+            profile=profile,
+            structure=structure,
+            cubin=cubin,
+            config=config,
+            workload=workload,
+            occupancy=occupancy,
+            simulation=simulation,
+        )
+
+    # ------------------------------------------------------------------
+    def _architecture_for(self, cubin: Cubin) -> GpuArchitecture:
+        """Pick the architecture model matching the binary's arch flag."""
+        if cubin.arch_flag == self.architecture.arch_flag:
+            return self.architecture
+        try:
+            return get_architecture(cubin.arch_flag)
+        except KeyError:
+            return self.architecture
+
+    # ------------------------------------------------------------------
+    # Offline dump / load (the paper's profiler writes profiles to disk and
+    # the advisor analyzes them later).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def dump(profiled: ProfiledKernel, directory: Union[str, Path]) -> Path:
+        """Write the profile and the binary next to each other for offline use."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        profile_path = directory / f"{profiled.kernel}.profile.json"
+        cubin_path = directory / f"{profiled.cubin.module_name}.json"
+        profile_path.write_text(profiled.profile.to_json(indent=2))
+        cubin_path.write_text(profiled.cubin.to_json(indent=2))
+        return profile_path
+
+    @staticmethod
+    def load_profile(path: Union[str, Path]) -> KernelProfile:
+        """Load a profile dumped by :meth:`dump`."""
+        return KernelProfile.from_json(Path(path).read_text())

@@ -1,0 +1,430 @@
+"""The SM execution simulator that produces PC samples.
+
+The simulator executes per-warp dynamic traces on one streaming
+multiprocessor of the configured architecture:
+
+* each SM has ``schedulers_per_sm`` warp schedulers; resident warps are
+  assigned to schedulers round-robin;
+* every cycle each scheduler issues at most one instruction from a ready
+  warp, picked with a loose round-robin policy;
+* fixed-latency results are tracked with a per-warp register scoreboard;
+  variable-latency results are tracked through the write/read barrier
+  registers in each instruction's control code, exactly the mechanism the
+  instruction blamer later reasons about;
+* ``BAR.SYNC`` blocks a warp until every live warp of its thread block has
+  arrived; waiting warps report ``SYNCHRONIZATION`` stalls;
+* a shared outstanding-transaction budget models memory throttling;
+* instruction-fetch stalls charged by the trace generator block the warp
+  with ``INSTRUCTION_FETCH``;
+* every ``sample_period`` cycles one scheduler (round-robin across
+  schedulers, as in Figure 1) records a PC sample: an *active* sample if the
+  scheduler issued that cycle, otherwise a *latency* sample carrying the
+  sampled warp's PC and stall reason.
+
+The output is exactly what CUPTI hands GPA: per-instruction stall counts by
+reason, per-instruction issue counts, and kernel-level totals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.machine import GpuArchitecture
+from repro.isa.registers import MemorySpace
+from repro.sampling.sample import PCSample
+from repro.sampling.stall_reasons import StallReason
+from repro.sampling.trace import TraceOp
+
+_FAR_FUTURE = 1 << 60
+
+
+@dataclass
+class SimulationResult:
+    """Raw output of one simulated wave on one SM."""
+
+    kernel: str
+    wave_cycles: int
+    #: (function, offset) -> {reason: latency sample count}
+    stall_counts: Dict[Tuple[str, int], Dict[StallReason, int]]
+    #: (function, offset) -> active (issue) sample count
+    issue_counts: Dict[Tuple[str, int], int]
+    active_samples: int
+    latency_samples: int
+    #: Dynamic instructions actually issued (all warps).
+    issued_instructions: int
+    #: Raw samples, kept only when requested.
+    samples: List[PCSample] = field(default_factory=list)
+
+    @property
+    def total_samples(self) -> int:
+        return self.active_samples + self.latency_samples
+
+
+class _WarpState:
+    """Mutable execution state of one warp."""
+
+    __slots__ = (
+        "warp_id", "block_id", "trace", "idx", "ready_cycle", "reg_ready",
+        "barrier_clear", "barrier_source", "sync_arrived", "sync_released",
+        "fetch_ready", "fetch_done_idx", "blocked_until", "last_reason", "finished",
+    )
+
+    def __init__(self, warp_id: int, block_id: int, trace: List[TraceOp]):
+        self.warp_id = warp_id
+        self.block_id = block_id
+        self.trace = trace
+        self.idx = 0
+        self.ready_cycle = 0
+        self.reg_ready: Dict[int, int] = {}
+        self.barrier_clear = [0, 0, 0, 0, 0, 0]
+        self.barrier_source: List[Optional[TraceOp]] = [None] * 6
+        self.sync_arrived = False
+        self.sync_released = False
+        self.fetch_ready: Optional[int] = None
+        self.fetch_done_idx = -1
+        self.blocked_until = 0
+        self.last_reason = StallReason.OTHER
+        self.finished = not trace
+
+    def current_op(self) -> TraceOp:
+        return self.trace[self.idx]
+
+
+def _classify_dependency(source: Optional[TraceOp]) -> StallReason:
+    """Stall reason of a warp waiting on the barrier set by ``source``."""
+    if source is None:
+        return StallReason.EXECUTION_DEPENDENCY
+    instruction = source.instruction
+    space = instruction.memory_space
+    if space in (MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL,
+                 MemorySpace.CONSTANT):
+        if instruction.is_load:
+            return StallReason.MEMORY_DEPENDENCY
+        # Stores hold a read barrier: a later overwrite waits -> WAR hazard.
+        return StallReason.EXECUTION_DEPENDENCY
+    if space is MemorySpace.TEXTURE:
+        return StallReason.TEXTURE
+    return StallReason.EXECUTION_DEPENDENCY
+
+
+class SMSimulator:
+    """Simulates one SM and collects PC samples."""
+
+    def __init__(
+        self,
+        architecture: GpuArchitecture,
+        sample_period: int = 32,
+        keep_samples: bool = False,
+        max_cycles: int = 4_000_000,
+    ):
+        if sample_period < 1:
+            raise ValueError("sample_period must be >= 1")
+        self.architecture = architecture
+        self.sample_period = sample_period
+        self.keep_samples = keep_samples
+        self.max_cycles = max_cycles
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        kernel: str,
+        traces: Sequence[List[TraceOp]],
+        block_of_warp: Sequence[int],
+        sm_id: int = 0,
+    ) -> SimulationResult:
+        """Run one wave of warps to completion and return the sample aggregates."""
+        if len(traces) != len(block_of_warp):
+            raise ValueError("traces and block_of_warp must have the same length")
+        if not traces:
+            raise ValueError("cannot simulate an empty set of warps")
+
+        arch = self.architecture
+        num_schedulers = arch.schedulers_per_sm
+        warps = [
+            _WarpState(warp_id=i, block_id=block_of_warp[i], trace=list(traces[i]))
+            for i in range(len(traces))
+        ]
+        scheduler_warps: List[List[int]] = [[] for _ in range(num_schedulers)]
+        for index, warp in enumerate(warps):
+            scheduler_warps[index % num_schedulers].append(index)
+
+        # Block barrier bookkeeping.
+        barrier_arrived: Dict[int, set] = defaultdict(set)
+        warps_of_block: Dict[int, List[int]] = defaultdict(list)
+        for index, warp in enumerate(warps):
+            warps_of_block[warp.block_id].append(index)
+
+        # Outstanding memory transactions (completion-cycle min-heap).
+        pending_memory: List[int] = []
+        memory_limit = arch.max_outstanding_memory_requests
+
+        stall_counts: Dict[Tuple[str, int], Dict[StallReason, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        issue_counts: Dict[Tuple[str, int], int] = defaultdict(int)
+        samples: List[PCSample] = []
+        active_samples = 0
+        latency_samples = 0
+        issued_instructions = 0
+
+        last_issued_slot = [0] * num_schedulers
+        sample_pointer = [0] * num_schedulers
+        unfinished = sum(1 for warp in warps if not warp.finished)
+
+        cycle = 0
+        next_sample_cycle = 0
+        sample_index = 0
+
+        # ------------------------------------------------------------------
+        def check(warp: _WarpState, now: int) -> Tuple[bool, StallReason, int]:
+            """Whether ``warp`` can issue at ``now``; else (reason, recheck cycle)."""
+            if warp.finished:
+                return False, StallReason.IDLE, _FAR_FUTURE
+            if now < warp.ready_cycle:
+                return False, StallReason.EXECUTION_DEPENDENCY, warp.ready_cycle
+            op = warp.trace[warp.idx]
+            instruction = op.instruction
+
+            # Instruction fetch stall charged to this op.
+            if op.fetch_stall and warp.fetch_done_idx != warp.idx:
+                if warp.fetch_ready is None:
+                    warp.fetch_ready = now + op.fetch_stall
+                if now < warp.fetch_ready:
+                    return False, StallReason.INSTRUCTION_FETCH, warp.fetch_ready
+                warp.fetch_done_idx = warp.idx
+                warp.fetch_ready = None
+
+            # Barrier wait mask (variable-latency dependencies).
+            wait_mask = instruction.control.wait_mask
+            if wait_mask:
+                latest = -1
+                latest_source: Optional[TraceOp] = None
+                for bar in wait_mask:
+                    clear = warp.barrier_clear[bar]
+                    if clear > latest:
+                        latest = clear
+                        latest_source = warp.barrier_source[bar]
+                if now < latest:
+                    return False, _classify_dependency(latest_source), latest
+            # Register scoreboard (fixed-latency dependencies).
+            if warp.reg_ready:
+                latest = 0
+                for reg in instruction.used_registers:
+                    ready = warp.reg_ready.get(reg.index, 0)
+                    if ready > latest:
+                        latest = ready
+                if now < latest:
+                    return False, StallReason.EXECUTION_DEPENDENCY, latest
+
+            # Block-wide synchronization.
+            if instruction.is_synchronization and instruction.opcode == "BAR":
+                if not warp.sync_released:
+                    if not warp.sync_arrived:
+                        warp.sync_arrived = True
+                        barrier_arrived[warp.block_id].add(warp.warp_id)
+                    return False, StallReason.SYNCHRONIZATION, _FAR_FUTURE
+
+            # Memory throttle.
+            if instruction.is_memory and instruction.memory_space in (
+                MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE,
+            ):
+                while pending_memory and pending_memory[0] <= now:
+                    heapq.heappop(pending_memory)
+                if len(pending_memory) >= memory_limit:
+                    return False, StallReason.MEMORY_THROTTLE, pending_memory[0]
+
+            return True, StallReason.SELECTED, now
+
+        # ------------------------------------------------------------------
+        def issue(warp: _WarpState, now: int) -> None:
+            nonlocal unfinished, issued_instructions
+            op = warp.trace[warp.idx]
+            instruction = op.instruction
+            control = instruction.control
+
+            if control.write_barrier is not None:
+                warp.barrier_clear[control.write_barrier] = now + max(1, op.latency)
+                warp.barrier_source[control.write_barrier] = op
+            if control.read_barrier is not None:
+                hold = max(1, min(op.latency, 30)) if op.latency else 20
+                warp.barrier_clear[control.read_barrier] = now + hold
+                warp.barrier_source[control.read_barrier] = op
+
+            info = instruction.info
+            if not info.is_variable_latency:
+                latency = self.architecture.latency(instruction.opcode)
+                for reg in instruction.defined_registers:
+                    warp.reg_ready[reg.index] = now + latency
+
+            if instruction.is_memory and instruction.memory_space in (
+                MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE,
+            ):
+                completion = now + max(1, op.latency)
+                for _ in range(max(1, op.transactions)):
+                    heapq.heappush(pending_memory, completion)
+
+            if instruction.is_synchronization and instruction.opcode == "BAR":
+                warp.sync_arrived = False
+                warp.sync_released = False
+
+            issued_instructions += 1
+            warp.idx += 1
+            warp.ready_cycle = now + max(1, control.stall_cycles)
+            warp.blocked_until = warp.ready_cycle
+            if warp.idx >= len(warp.trace):
+                warp.finished = True
+                unfinished -= 1
+
+        # ------------------------------------------------------------------
+        def release_barriers(now: int) -> bool:
+            """Release block barriers whose live warps have all arrived.
+
+            Returns True when at least one barrier was released, so the main
+            loop does not skip ahead past the newly-unblocked warps.
+            """
+            released = False
+            for block_id, arrived in list(barrier_arrived.items()):
+                if not arrived:
+                    continue
+                live = [
+                    warps[w_index].warp_id
+                    for w_index in warps_of_block[block_id]
+                    if not warps[w_index].finished
+                ]
+                if live and set(live) <= arrived:
+                    for w_index in warps_of_block[block_id]:
+                        warp = warps[w_index]
+                        if warp.warp_id in arrived:
+                            warp.sync_released = True
+                            warp.blocked_until = now
+                    barrier_arrived[block_id] = set()
+                    released = True
+            return released
+
+        # ------------------------------------------------------------------
+        def record_sample(scheduler: int, now: int, issued_key: Optional[Tuple[str, int]]) -> None:
+            nonlocal active_samples, latency_samples
+            indices = scheduler_warps[scheduler]
+            if not indices:
+                return
+            # Pick the sampled warp round-robin among unfinished warps.
+            pointer = sample_pointer[scheduler]
+            sampled: Optional[_WarpState] = None
+            for probe in range(len(indices)):
+                candidate = warps[indices[(pointer + probe) % len(indices)]]
+                if not candidate.finished:
+                    sampled = candidate
+                    sample_pointer[scheduler] = (pointer + probe + 1) % len(indices)
+                    break
+            if sampled is None:
+                return
+
+            is_active = issued_key is not None
+            if is_active:
+                active_samples += 1
+                issue_counts[issued_key] += 1
+                reason = StallReason.SELECTED
+                function, offset = issued_key
+            else:
+                latency_samples += 1
+                op = sampled.current_op()
+                reason = sampled.last_reason
+                if reason in (StallReason.SELECTED, StallReason.IDLE, StallReason.OTHER):
+                    # The cached reason is stale (the warp was not examined
+                    # this cycle); evaluate its state now.
+                    _ready, reason, _recheck = check(sampled, now)
+                    if reason in (StallReason.SELECTED, StallReason.IDLE):
+                        reason = StallReason.NOT_SELECTED
+                function, offset = op.function, op.offset
+                stall_counts[(function, offset)][reason] += 1
+
+            if self.keep_samples:
+                samples.append(
+                    PCSample(
+                        cycle=now,
+                        sm_id=sm_id,
+                        scheduler_id=scheduler,
+                        warp_id=sampled.warp_id,
+                        function=function,
+                        offset=offset,
+                        reason=reason,
+                        is_active=is_active,
+                    )
+                )
+
+        # ------------------------------------------------------------------
+        # Main loop.
+        # ------------------------------------------------------------------
+        while unfinished > 0 and cycle < self.max_cycles:
+            issued_key_by_scheduler: List[Optional[Tuple[str, int]]] = [None] * num_schedulers
+            any_issued = False
+            min_recheck = _FAR_FUTURE
+
+            for scheduler in range(num_schedulers):
+                indices = scheduler_warps[scheduler]
+                if not indices:
+                    continue
+                count = len(indices)
+                start = last_issued_slot[scheduler]
+                chosen_slot = -1
+                for probe in range(count):
+                    slot = (start + probe) % count
+                    warp = warps[indices[slot]]
+                    if warp.finished:
+                        continue
+                    if cycle < warp.blocked_until:
+                        if warp.blocked_until < min_recheck:
+                            min_recheck = warp.blocked_until
+                        continue
+                    ready, reason, recheck = check(warp, cycle)
+                    warp.last_reason = reason
+                    if ready:
+                        chosen_slot = slot
+                        break
+                    warp.blocked_until = recheck
+                    if recheck < min_recheck:
+                        min_recheck = recheck
+                if chosen_slot >= 0:
+                    warp = warps[indices[chosen_slot]]
+                    op = warp.current_op()
+                    issued_key_by_scheduler[scheduler] = (op.function, op.offset)
+                    issue(warp, cycle)
+                    last_issued_slot[scheduler] = (chosen_slot + 1) % count
+                    any_issued = True
+
+            released = release_barriers(cycle)
+
+            if cycle >= next_sample_cycle:
+                scheduler = sample_index % num_schedulers
+                record_sample(scheduler, cycle, issued_key_by_scheduler[scheduler])
+                sample_index += 1
+                next_sample_cycle += self.sample_period
+
+            if any_issued or released:
+                cycle += 1
+            else:
+                # Nothing can issue until min_recheck: jump ahead, but emit the
+                # latency samples that fall inside the gap.
+                target = min(min_recheck, self.max_cycles)
+                if target <= cycle:
+                    target = cycle + 1
+                while next_sample_cycle < target:
+                    scheduler = sample_index % num_schedulers
+                    record_sample(scheduler, next_sample_cycle, None)
+                    sample_index += 1
+                    next_sample_cycle += self.sample_period
+                cycle = target
+
+        return SimulationResult(
+            kernel=kernel,
+            wave_cycles=cycle,
+            stall_counts={key: dict(value) for key, value in stall_counts.items()},
+            issue_counts=dict(issue_counts),
+            active_samples=active_samples,
+            latency_samples=latency_samples,
+            issued_instructions=issued_instructions,
+            samples=samples,
+        )

@@ -1,0 +1,89 @@
+"""Stall reasons reported with PC samples.
+
+The names follow CUPTI's ``CUpti_ActivityPCSamplingStallReason`` values at
+the granularity GPA uses.  Section 4 of the paper divides them into
+
+* *dependent* stalls — memory dependency, execution dependency and
+  synchronization — which are caused by a *source* instruction and must be
+  attributed backwards by the instruction blamer, and
+* *self* stalls — e.g. memory throttle or instruction fetch — which are
+  caused by the sampled instruction itself.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class StallReason(enum.Enum):
+    """Why a sampled warp could not issue (or ``SELECTED`` when it issued)."""
+
+    #: The sampled warp issued an instruction this cycle.
+    SELECTED = "selected"
+    #: The warp was ready but the scheduler picked another warp.
+    NOT_SELECTED = "not_selected"
+    #: Waiting for a value produced by a global/local/constant memory load.
+    MEMORY_DEPENDENCY = "memory_dependency"
+    #: Waiting for a fixed-latency arithmetic result, a shared-memory value
+    #: or a WAR hazard (the "short scoreboard" family).
+    EXECUTION_DEPENDENCY = "execution_dependency"
+    #: Waiting at a block-wide barrier (``__syncthreads``).
+    SYNCHRONIZATION = "synchronization"
+    #: The memory pipeline cannot accept more transactions.
+    MEMORY_THROTTLE = "memory_throttle"
+    #: Waiting for the next instruction to be fetched.
+    INSTRUCTION_FETCH = "instruction_fetch"
+    #: The target functional pipeline is busy.
+    PIPELINE_BUSY = "pipeline_busy"
+    #: Waiting on a texture request.
+    TEXTURE = "texture"
+    #: The warp has not yet been launched or already exited (drain/fill).
+    IDLE = "idle"
+    #: Anything else.
+    OTHER = "other"
+
+    @property
+    def is_dependent(self) -> bool:
+        """Stalls attributed to source instructions by the instruction blamer.
+
+        "Among the stall reasons, memory dependency, synchronization, and
+        execution dependency stalls are caused by the source instructions
+        rather than the instructions that suffer from stalls." (Section 4)
+        """
+        return self in (
+            StallReason.MEMORY_DEPENDENCY,
+            StallReason.EXECUTION_DEPENDENCY,
+            StallReason.SYNCHRONIZATION,
+        )
+
+    @property
+    def is_stall(self) -> bool:
+        """Whether a sample with this reason counts as a stall sample."""
+        return self not in (StallReason.SELECTED,)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class DetailedStallReason(enum.Enum):
+    """Fine-grained classification of dependent stalls (Figure 5).
+
+    After attribution, memory dependencies are split by the address space of
+    the source instruction and execution dependencies by its opcode family.
+    """
+
+    # Memory dependency refinements (Figure 5a).
+    GLOBAL_MEMORY_DEPENDENCY = "global_memory_dependency"
+    LOCAL_MEMORY_DEPENDENCY = "local_memory_dependency"
+    CONSTANT_MEMORY_DEPENDENCY = "constant_memory_dependency"
+    # Execution dependency refinements (Figure 5b).
+    SHARED_MEMORY_DEPENDENCY = "shared_memory_dependency"
+    ARITHMETIC_DEPENDENCY = "arithmetic_dependency"
+    WAR_DEPENDENCY = "war_dependency"
+    # Synchronization keeps its own bucket.
+    SYNCHRONIZATION = "synchronization"
+    # Self stalls keep their coarse reason.
+    SELF = "self"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

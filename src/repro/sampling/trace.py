@@ -1,0 +1,202 @@
+"""Per-warp dynamic trace generation.
+
+``generate_warp_trace`` walks one warp's execution path through a function's
+control flow graph using the :class:`~repro.sampling.workload.WorkloadSpec`:
+loops iterate for their configured trip counts, data-dependent forward
+branches are decided by a deterministic per-warp random stream, and ``CAL``
+instructions descend into device functions.  Each executed instruction
+becomes a :class:`TraceOp` annotated with its dynamic memory latency, the
+number of memory transactions it issues, and any instruction-fetch stall
+charged to it (present when the executed code footprint exceeds the
+instruction cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.arch.machine import GpuArchitecture
+from repro.isa.instruction import Instruction
+from repro.isa.registers import MemorySpace
+from repro.sampling.workload import WorkloadSpec
+from repro.structure.program import FunctionStructure, ProgramStructure
+
+
+@dataclass
+class TraceOp:
+    """One dynamically executed instruction of one warp."""
+
+    #: Function the instruction belongs to (kernel or device function).
+    function: str
+    instruction: Instruction
+    #: Completion latency for variable-latency instructions (cycles).
+    latency: int = 0
+    #: Memory transactions issued (0 for non-memory instructions).
+    transactions: int = 0
+    #: Instruction-fetch stall charged before this op issues (cycles).
+    fetch_stall: int = 0
+
+    @property
+    def offset(self) -> int:
+        return self.instruction.offset
+
+    @property
+    def opcode(self) -> str:
+        return self.instruction.opcode
+
+
+class TraceError(RuntimeError):
+    """Raised when a trace cannot be generated (e.g. unresolved call)."""
+
+
+def _dynamic_latency(
+    instruction: Instruction,
+    architecture: GpuArchitecture,
+    workload: WorkloadSpec,
+    rng,
+    transactions: int,
+) -> int:
+    """Completion latency of a variable-latency instruction for this execution."""
+    info = instruction.info
+    base = architecture.latency(instruction.opcode)
+    space = instruction.memory_space
+    jitter = rng.uniform(0.85, 1.25)
+    scale = 1.0
+    if space in (MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE):
+        scale = workload.memory_latency_scale
+        if transactions > 1:
+            # Uncoalesced accesses serialize transactions at the memory pipe.
+            scale *= 1.0 + 0.15 * (transactions - 1)
+    elif space is MemorySpace.CONSTANT:
+        scale = workload.constant_latency_scale
+    elif space is MemorySpace.SHARED:
+        scale = workload.shared_latency_scale
+    return max(1, int(base * scale * jitter))
+
+
+def generate_warp_trace(
+    structure: ProgramStructure,
+    kernel_name: str,
+    workload: WorkloadSpec,
+    architecture: GpuArchitecture,
+    warp_id: int,
+    num_warps: int,
+) -> List[TraceOp]:
+    """Generate the dynamic instruction trace of one warp."""
+    rng = workload.rng_for_warp(warp_id)
+    ops: List[TraceOp] = []
+    executed_functions: Set[str] = set()
+
+    def walk(function_name: str, depth: int) -> None:
+        if depth > 8:
+            raise TraceError(f"call depth limit exceeded while tracing {kernel_name}")
+        function_structure = structure.function(function_name)
+        executed_functions.add(function_name)
+        cfg = function_structure.cfg
+        block = cfg.entry
+        back_edge_taken: Dict[int, int] = {}
+
+        while True:
+            if len(ops) >= workload.max_trace_ops:
+                return
+            for instruction in block.instructions:
+                if len(ops) >= workload.max_trace_ops:
+                    return
+                transactions = 0
+                latency = 0
+                if instruction.is_memory or instruction.info.is_variable_latency:
+                    if instruction.is_memory:
+                        transactions = workload.transactions(instruction.line)
+                    latency = _dynamic_latency(
+                        instruction, architecture, workload, rng, max(1, transactions)
+                    )
+                ops.append(
+                    TraceOp(
+                        function=function_name,
+                        instruction=instruction,
+                        latency=latency,
+                        transactions=transactions,
+                    )
+                )
+                if instruction.is_call:
+                    callee = workload.call_target(instruction.line)
+                    if callee is not None and callee in structure.functions:
+                        walk(callee, depth + 1)
+                if instruction.is_exit:
+                    return
+
+            terminator = block.terminator
+            successors = cfg.successors.get(block.index, [])
+            if terminator is None or not successors:
+                return
+
+            if terminator.is_branch and terminator.target is not None:
+                target_block = None
+                try:
+                    target_block = cfg.block_containing(terminator.target)
+                except KeyError:
+                    target_block = None
+
+                is_back_edge = terminator.target <= terminator.offset
+                if is_back_edge and target_block is not None:
+                    header_instruction = cfg.instruction_at(terminator.target)
+                    trips = workload.trip_count(header_instruction.line, warp_id, num_warps)
+                    taken = back_edge_taken.get(terminator.offset, 0)
+                    if taken + 1 < trips:
+                        back_edge_taken[terminator.offset] = taken + 1
+                        block = target_block
+                        continue
+                    back_edge_taken[terminator.offset] = 0
+                    fall_through = [s for s in successors if s != target_block.index]
+                    if fall_through:
+                        block = cfg.blocks[fall_through[0]]
+                        continue
+                    return
+                # Forward branch.
+                if target_block is None:
+                    block = cfg.blocks[successors[0]]
+                    continue
+                if not terminator.is_predicated or len(successors) == 1:
+                    block = target_block
+                    continue
+                probability = workload.branch_probability(terminator.line)
+                if rng.random() < probability:
+                    block = target_block
+                else:
+                    fall_through = [s for s in successors if s != target_block.index]
+                    block = cfg.blocks[fall_through[0]] if fall_through else target_block
+                continue
+
+            # Fall through (non-branch terminator or branch without target).
+            block = cfg.blocks[successors[0]]
+
+    walk(kernel_name, depth=0)
+
+    _charge_fetch_stalls(ops, executed_functions, structure, architecture)
+    return ops
+
+
+def _charge_fetch_stalls(
+    ops: List[TraceOp],
+    executed_functions: Set[str],
+    structure: ProgramStructure,
+    architecture: GpuArchitecture,
+) -> None:
+    """Charge instruction-fetch stalls when the code footprint exceeds the i-cache.
+
+    The footprint is the total code size of every function the warp executed.
+    Pressure above 1.0 causes periodic fetch stalls whose frequency and size
+    grow with the pressure — the signal the Function Split optimizer matches
+    (Table 2: "Match instruction fetch stalls").
+    """
+    footprint = sum(
+        structure.function(name).function.code_size for name in executed_functions
+    )
+    pressure = footprint / architecture.instruction_cache_bytes
+    if pressure <= 1.0 or not ops:
+        return
+    period = max(6, int(48 / pressure))
+    stall = max(4, int(8 * min(pressure, 4.0)))
+    for index in range(period, len(ops), period):
+        ops[index].fetch_stall = stall

@@ -1,0 +1,116 @@
+"""Workload specifications.
+
+The reproduction has no functional GPU interpreter: instead of executing
+values, each synthetic kernel is paired with a :class:`WorkloadSpec` that
+describes the *dynamic behaviour* needed to walk a realistic execution trace
+out of the control flow graph:
+
+* loop trip counts (per loop header line, optionally varying per warp to
+  model imbalanced workloads such as the bfs benchmark in Section 6.2),
+* taken probabilities for data-dependent forward branches,
+* call targets of ``CAL`` instructions (our ISA does not encode callees),
+* memory behaviour: global-memory latency scaling, lines whose accesses are
+  uncoalesced (more transactions per access, higher latency), and constant
+  memory hit behaviour,
+* a deterministic seed so traces — and therefore profiles — are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Set, Union
+
+#: A trip count may be a plain integer or a callable of (warp_id, num_warps).
+TripCount = Union[int, Callable[[int, int], int]]
+
+
+@dataclass
+class WorkloadSpec:
+    """Dynamic behaviour of one kernel for trace generation."""
+
+    name: str = "default"
+    #: Trip count of each loop, keyed by the loop header's source line.
+    loop_trip_counts: Dict[int, TripCount] = field(default_factory=dict)
+    #: Trip count used for loops without an explicit entry.
+    default_trip_count: int = 4
+    #: Probability that a data-dependent forward branch is taken, keyed by
+    #: the branch instruction's source line.
+    branch_taken: Dict[int, float] = field(default_factory=dict)
+    #: Default taken probability for unlisted forward branches.
+    default_branch_taken: float = 0.5
+    #: Callee function name for each ``CAL`` site, keyed by source line.
+    call_targets: Dict[int, str] = field(default_factory=dict)
+    #: Source lines whose global-memory accesses are uncoalesced.
+    uncoalesced_lines: Set[int] = field(default_factory=set)
+    #: Memory transactions per access for uncoalesced lines.
+    uncoalesced_transactions: int = 8
+    #: Multiplier applied to global/local memory latencies.
+    memory_latency_scale: float = 1.0
+    #: Multiplier applied to constant memory latency (values > 1 model
+    #: constant-cache misses from divergent indices).
+    constant_latency_scale: float = 1.0
+    #: Extra latency scale for shared memory (bank conflicts).
+    shared_latency_scale: float = 1.0
+    #: Deterministic seed for per-warp randomness.
+    seed: int = 2021
+    #: Hard cap on the dynamic trace length per warp (protects against
+    #: accidentally unbounded loops in workload definitions).
+    max_trace_ops: int = 20000
+
+    # ------------------------------------------------------------------
+    # Queries used by the trace generator
+    # ------------------------------------------------------------------
+    def trip_count(self, header_line: Optional[int], warp_id: int, num_warps: int) -> int:
+        """Trip count of the loop whose header maps to ``header_line``."""
+        value: TripCount = self.default_trip_count
+        if header_line is not None and header_line in self.loop_trip_counts:
+            value = self.loop_trip_counts[header_line]
+        if callable(value):
+            value = value(warp_id, num_warps)
+        return max(0, int(value))
+
+    def branch_probability(self, line: Optional[int]) -> float:
+        """Taken probability of the forward branch at ``line``."""
+        if line is not None and line in self.branch_taken:
+            return self.branch_taken[line]
+        return self.default_branch_taken
+
+    def call_target(self, line: Optional[int]) -> Optional[str]:
+        """Name of the device function called at ``line``, if known."""
+        if line is None:
+            return None
+        return self.call_targets.get(line)
+
+    def transactions(self, line: Optional[int]) -> int:
+        """Memory transactions issued per access at ``line``."""
+        if line is not None and line in self.uncoalesced_lines:
+            return self.uncoalesced_transactions
+        return 1
+
+    def rng_for_warp(self, warp_id: int) -> random.Random:
+        """A deterministic random stream for one warp."""
+        return random.Random((self.seed * 1000003 + warp_id) & 0xFFFFFFFF)
+
+    # ------------------------------------------------------------------
+    # Derivation helpers used by optimization transforms
+    # ------------------------------------------------------------------
+    def copy(self, **overrides) -> "WorkloadSpec":
+        """A shallow copy with selected fields replaced."""
+        data = dict(
+            name=self.name,
+            loop_trip_counts=dict(self.loop_trip_counts),
+            default_trip_count=self.default_trip_count,
+            branch_taken=dict(self.branch_taken),
+            default_branch_taken=self.default_branch_taken,
+            call_targets=dict(self.call_targets),
+            uncoalesced_lines=set(self.uncoalesced_lines),
+            uncoalesced_transactions=self.uncoalesced_transactions,
+            memory_latency_scale=self.memory_latency_scale,
+            constant_latency_scale=self.constant_latency_scale,
+            shared_latency_scale=self.shared_latency_scale,
+            seed=self.seed,
+            max_trace_ops=self.max_trace_ops,
+        )
+        data.update(overrides)
+        return WorkloadSpec(**data)

@@ -1,0 +1,23 @@
+"""Program structure recovery (the paper's "Program Structure" file).
+
+The static analyzer recovers, per function: the function symbol and its
+visibility, loop nests, inline stacks (from DWARF) and source-line mappings.
+This package combines the CFG/loop analyses with the metadata carried by the
+CUBIN container into :class:`~repro.structure.program.ProgramStructure`,
+which the dynamic analyzer queries to aggregate stalls by line, loop and
+function and to generate advice at those levels.
+"""
+
+from repro.structure.program import (
+    FunctionStructure,
+    ProgramStructure,
+    SourceLocation,
+    build_program_structure,
+)
+
+__all__ = [
+    "FunctionStructure",
+    "ProgramStructure",
+    "SourceLocation",
+    "build_program_structure",
+]

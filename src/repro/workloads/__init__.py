@@ -1,0 +1,36 @@
+"""Synthetic workloads (the evaluation substrate).
+
+The paper evaluates GPA on Rodinia benchmarks and four larger applications
+(Quicksilver, ExaTENSOR, PeleC, Minimod) running on a real V100.  Since the
+reproduction has no GPU and no CUDA toolchain, every benchmark kernel is
+re-authored at the SASS level with :class:`~repro.cubin.builder.KernelBuilder`
+so that it exhibits the same dominant inefficiency the paper reports for it
+(Table 3): hotspot's double-precision constant conversions, b+tree's short
+load-to-use distance, gaussian's tiny thread blocks, Quicksilver's
+non-inlined device functions and register spills, ExaTENSOR's integer
+division and uncoalesced transactions, and so on.
+
+Every benchmark provides a *baseline* kernel and, for each optimization the
+paper applied, an *optimized* variant implementing the same code change, so
+the "achieved" speedup of Table 3 can be measured by re-simulation and
+compared against GPA's estimate.
+"""
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.registry import (
+    all_cases,
+    case_by_name,
+    case_names,
+    rodinia_cases,
+    application_cases,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "KernelSetup",
+    "all_cases",
+    "application_cases",
+    "case_by_name",
+    "case_names",
+    "rodinia_cases",
+]

@@ -1,0 +1,1 @@
+"""Synthetic application kernels for the Section 7 case studies."""

@@ -1,0 +1,75 @@
+"""Minimod — ``target_pml_3d`` (Fast Math 1.03x / 1.09x, Code Reorder 1.05x / 1.10x).
+
+Section 7.4: the higher-order stencil first benefits (slightly) from
+``--use_fast_math``, then from reading subscripted global values well before
+their use so more of the memory latency is hidden.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_math_kernel
+
+KERNEL = "target_pml_3d"
+SOURCE = "minimod_pml3d.cu"
+
+
+def _build(fast_math: bool = False, gap_ops: int = 0) -> KernelSetup:
+    return build_math_kernel(
+        "Minimod",
+        KERNEL,
+        SOURCE,
+        grid_blocks=1250,
+        threads_per_block=256,
+        trip_count=8,
+        math_calls_per_iteration=1,
+        math_functions=("div",),
+        fast_math=fast_math,
+        loads_per_iteration=3,
+        gap_ops=gap_ops,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build()
+
+
+def fast_math() -> KernelSetup:
+    return _build(fast_math=True)
+
+
+def fast_math_baseline() -> KernelSetup:
+    """Baseline for the second step (fast math already applied)."""
+    return _build(fast_math=True)
+
+
+def reordered() -> KernelSetup:
+    return _build(fast_math=True, gap_ops=5)
+
+
+CASES = [
+    BenchmarkCase(
+        name="Minimod",
+        kernel=KERNEL,
+        optimization="Fast Math",
+        optimizer_name="GPUFastMathOptimizer",
+        baseline=baseline,
+        optimized=fast_math,
+        paper_original_time="89.12ms",
+        paper_achieved_speedup=1.03,
+        paper_estimated_speedup=1.09,
+        is_rodinia=False,
+    ),
+    BenchmarkCase(
+        name="Minimod",
+        kernel=KERNEL,
+        optimization="Code Reorder",
+        optimizer_name="GPUCodeReorderingOptimizer",
+        baseline=fast_math_baseline,
+        optimized=reordered,
+        paper_original_time="86.31ms",
+        paper_achieved_speedup=1.05,
+        paper_estimated_speedup=1.10,
+        is_rodinia=False,
+    ),
+]

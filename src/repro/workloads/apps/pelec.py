@@ -1,0 +1,53 @@
+"""PeleC — ``pc_expl_reactions`` (Block Increase, 1.19x / 1.23x).
+
+Section 7.3: the reaction kernel occupies only 16 blocks, so most SMs are
+idle; reducing the threads per block while doubling the number of blocks
+improves the parallelism.  (The top code-reordering suggestion was impractical
+because its hotspots are scattered across many lines.)
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_parallelism_kernel
+
+KERNEL = "pc_expl_reactions"
+SOURCE = "PeleC_reactions.cpp"
+
+
+def _build(grid_blocks: int, threads_per_block: int) -> KernelSetup:
+    return build_parallelism_kernel(
+        "PeleC",
+        KERNEL,
+        SOURCE,
+        grid_blocks=grid_blocks,
+        threads_per_block=threads_per_block,
+        trip_count=20,
+        loads_per_iteration=2,
+        work_ops_per_iteration=6,
+        registers_per_thread=56,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build(grid_blocks=16, threads_per_block=1024)
+
+
+def more_blocks() -> KernelSetup:
+    return _build(grid_blocks=32, threads_per_block=512)
+
+
+CASES = [
+    BenchmarkCase(
+        name="PeleC",
+        kernel=KERNEL,
+        optimization="Block Increase",
+        optimizer_name="GPUBlockIncreaseOptimizer",
+        baseline=baseline,
+        optimized=more_blocks,
+        paper_original_time="440.12ms",
+        paper_achieved_speedup=1.19,
+        paper_estimated_speedup=1.23,
+        is_rodinia=False,
+    ),
+]

@@ -1,0 +1,146 @@
+"""Quicksilver — ``CycleTrackingKernel`` (Function Inlining 1.12x / 1.18x,
+Register Reuse 1.03x / 1.04x).
+
+Quicksilver's single large kernel invokes many device functions.  Two
+inefficiencies from the paper's case study (Section 7.2):
+
+* two small device functions are *not* inlined, so their loads cannot be
+  overlapped with the caller's independent work — manual inlining helps;
+* register pressure forces spills (local memory loads/stores) inside a loop —
+  splitting the loop removes the spills.
+"""
+
+from __future__ import annotations
+
+from repro.cubin.builder import CubinBuilder, imm, p
+from repro.sampling.sample import LaunchConfig
+from repro.sampling.workload import WorkloadSpec
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.patterns import standard_prologue, store_result
+
+KERNEL = "CycleTrackingKernel"
+SOURCE = "CycleTracking.cc"
+
+_LOOP_LINE = 300
+_CALL_A_LINE = 305
+_CALL_B_LINE = 307
+_SPILL_LINE = 312
+
+
+def _device_function(builder: CubinBuilder, name: str) -> None:
+    """A small device function: load a table entry and post-process it."""
+    f = builder.device_function(name, source_file=SOURCE)
+    f.at_line(20)
+    f.ldg(50, 2, offset=8)
+    f.ffma(56, 56, 56, 56)
+    f.ffma(57, 57, 57, 57)
+    f.at_line(21)
+    f.ffma(51, 50, 50, 51)
+    f.fadd(52, 51, 50)
+    f.ret()
+    builder.add_function(f.build())
+
+
+def _build(inlined: bool = False, spills_fixed: bool = False) -> KernelSetup:
+    builder = CubinBuilder(module_name="Quicksilver")
+    k = builder.kernel(KERNEL, source_file=SOURCE, registers_per_thread=96)
+    standard_prologue(k, addr_reg=2, line=290)
+    k.mov_imm(12, 0)
+    k.mov_imm(8, 0)
+    k.mov_imm(9, 1 << 20)
+    k.at_line(_LOOP_LINE)
+    k.isetp(0, 8, 9, "LT")
+    with k.loop("tracking", predicate=p(0)):
+        k.at_line(_LOOP_LINE)
+        k.iadd(8, 8, imm(1))
+        # Segment-length and cross-section lookups: either calls to device
+        # functions (baseline) or their bodies integrated into the caller
+        # (manual inlining), where the loads can overlap the caller's work.
+        if inlined:
+            with k.inlined("MC_Segment_Outcome", call_site_line=_CALL_A_LINE):
+                k.at_line(_CALL_A_LINE)
+                k.ldg(50, 2, offset=8)
+            with k.inlined("MacroscopicCrossSection", call_site_line=_CALL_B_LINE):
+                k.at_line(_CALL_B_LINE)
+                k.ldg(53, 2, offset=16)
+            k.at_line(_CALL_A_LINE)
+            k.ffma(24, 24, 24, 24)
+            k.ffma(51, 50, 50, 51)
+            k.at_line(_CALL_B_LINE)
+            k.ffma(54, 53, 53, 54)
+        else:
+            k.at_line(_CALL_A_LINE)
+            k.call("MC_Segment_Outcome")
+            k.at_line(_CALL_B_LINE)
+            k.call("MacroscopicCrossSection")
+            k.ffma(24, 24, 24, 24)
+        # Register spills: the particle state does not fit in registers.
+        if not spills_fixed:
+            k.at_line(_SPILL_LINE)
+            k.stl(60, 30)
+            k.ffma(30, 30, 30, 30)
+            k.at_line(_SPILL_LINE + 1)
+            k.ldl(31, 60)
+            k.ffma(12, 31, 31, 12)
+        else:
+            k.at_line(_SPILL_LINE)
+            k.ffma(30, 30, 30, 30)
+            k.ffma(12, 30, 30, 12)
+        k.at_line(_LOOP_LINE)
+        k.isetp(0, 8, 9, "LT")
+    store_result(k, 2, 12, 330)
+    builder.add_function(k.build())
+    if not inlined:
+        _device_function(builder, "MC_Segment_Outcome")
+        _device_function(builder, "MacroscopicCrossSection")
+
+    workload = WorkloadSpec(
+        name="Quicksilver",
+        loop_trip_counts={_LOOP_LINE: 24},
+        call_targets={
+            _CALL_A_LINE: "MC_Segment_Outcome",
+            _CALL_B_LINE: "MacroscopicCrossSection",
+        },
+    )
+    config = LaunchConfig(grid_blocks=480, threads_per_block=256)
+    return KernelSetup(cubin=builder.build(), kernel=KERNEL, config=config, workload=workload)
+
+
+def baseline() -> KernelSetup:
+    return _build()
+
+
+def inlined() -> KernelSetup:
+    return _build(inlined=True)
+
+
+def register_reuse() -> KernelSetup:
+    return _build(spills_fixed=True)
+
+
+CASES = [
+    BenchmarkCase(
+        name="Quicksilver",
+        kernel=KERNEL,
+        optimization="Function Inlining",
+        optimizer_name="GPUFunctionInliningOptimizer",
+        baseline=baseline,
+        optimized=inlined,
+        paper_original_time="1.18s",
+        paper_achieved_speedup=1.12,
+        paper_estimated_speedup=1.18,
+        is_rodinia=False,
+    ),
+    BenchmarkCase(
+        name="Quicksilver",
+        kernel=KERNEL,
+        optimization="Register Reuse",
+        optimizer_name="GPURegisterReuseOptimizer",
+        baseline=baseline,
+        optimized=register_reuse,
+        paper_original_time="1.05s",
+        paper_achieved_speedup=1.03,
+        paper_estimated_speedup=1.04,
+        is_rodinia=False,
+    ),
+]

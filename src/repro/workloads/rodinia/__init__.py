@@ -1,0 +1,1 @@
+"""Synthetic Rodinia benchmark kernels (one module per benchmark)."""

@@ -1,0 +1,52 @@
+"""rodinia/cfd — ``cuda_compute_flux`` (Fast Math, achieved 1.46x, estimated 1.54x).
+
+The flux computation calls several high-precision math routines (sqrt, pow)
+per element; compiling with ``--use_fast_math`` replaces them with the
+hardware special-function approximations.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_math_kernel
+
+KERNEL = "cuda_compute_flux"
+SOURCE = "euler3d.cu"
+
+
+def _build(fast_math: bool = False) -> KernelSetup:
+    return build_math_kernel(
+        "rodinia/cfd",
+        KERNEL,
+        SOURCE,
+        grid_blocks=1600,
+        threads_per_block=192,
+        trip_count=6,
+        math_calls_per_iteration=3,
+        math_functions=("sqrt", "pow", "div"),
+        fast_math=fast_math,
+        loads_per_iteration=2,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build()
+
+
+def fast_math() -> KernelSetup:
+    return _build(fast_math=True)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/cfd",
+        kernel=KERNEL,
+        optimization="Fast Math",
+        optimizer_name="GPUFastMathOptimizer",
+        baseline=baseline,
+        optimized=fast_math,
+        paper_original_time="187.53ms",
+        paper_achieved_speedup=1.46,
+        paper_estimated_speedup=1.54,
+    ),
+]

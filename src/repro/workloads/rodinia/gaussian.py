@@ -1,0 +1,54 @@
+"""rodinia/gaussian — ``Fan2`` (Thread Increase, achieved 3.86x, estimated 3.33x).
+
+Fan2 is launched with tiny thread blocks, so the per-SM block-count limit
+caps occupancy and every warp is mostly empty.  Increasing the number of
+threads per block (and shrinking the grid accordingly) is the largest win in
+Table 3.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_parallelism_kernel
+
+KERNEL = "Fan2"
+SOURCE = "gaussian.cu"
+
+_TOTAL_THREADS = 16384 * 16
+
+
+def _build(threads_per_block: int) -> KernelSetup:
+    grid_blocks = max(1, _TOTAL_THREADS // threads_per_block)
+    return build_parallelism_kernel(
+        "rodinia/gaussian",
+        KERNEL,
+        SOURCE,
+        grid_blocks=grid_blocks,
+        threads_per_block=threads_per_block,
+        trip_count=8,
+        loads_per_iteration=1,
+        work_ops_per_iteration=3,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build(threads_per_block=16)
+
+
+def more_threads() -> KernelSetup:
+    return _build(threads_per_block=256)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/gaussian",
+        kernel=KERNEL,
+        optimization="Thread Increase",
+        optimizer_name="GPUThreadIncreaseOptimizer",
+        baseline=baseline,
+        optimized=more_threads,
+        paper_original_time="116.76ms",
+        paper_achieved_speedup=3.86,
+        paper_estimated_speedup=3.33,
+    ),
+]

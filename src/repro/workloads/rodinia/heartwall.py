@@ -1,0 +1,52 @@
+"""rodinia/heartwall — ``kernel`` (Loop Unrolling, achieved 1.16x, estimated 1.15x).
+
+The tracking loop loads template samples from global memory and accumulates
+correlations; the trip count is uniform, so the loop-unrolling estimate is
+accurate (1% error in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_load_use_loop_kernel
+
+KERNEL = "kernel"
+SOURCE = "heartwall_kernel.cu"
+
+
+def _build(unroll_factor: int = 1) -> KernelSetup:
+    return build_load_use_loop_kernel(
+        "rodinia/heartwall",
+        KERNEL,
+        SOURCE,
+        grid_blocks=510,
+        threads_per_block=256,
+        trip_count=24,
+        gap_ops=1,
+        unroll_factor=unroll_factor,
+        extra_work_ops=2,
+        registers_per_thread=84,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build()
+
+
+def unrolled() -> KernelSetup:
+    return _build(unroll_factor=4)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/heartwall",
+        kernel=KERNEL,
+        optimization="Loop Unrolling",
+        optimizer_name="GPULoopUnrollingOptimizer",
+        baseline=baseline,
+        optimized=unrolled,
+        paper_original_time="49.03ms",
+        paper_achieved_speedup=1.16,
+        paper_estimated_speedup=1.15,
+    ),
+]

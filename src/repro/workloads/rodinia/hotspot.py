@@ -1,0 +1,87 @@
+"""rodinia/hotspot — ``calculate_temp`` (Strength Reduction, 1.15x / 1.10x).
+
+Listing 1 of the paper: the temperature update multiplies 32-bit float values
+by the untyped constant ``2.0``, so the compiler promotes to double precision
+and back (F2F / DMUL / F2F).  Typing the constant ``2.0f`` removes the
+conversion chain.
+"""
+
+from __future__ import annotations
+
+from repro.cubin.builder import CubinBuilder, imm, p
+from repro.sampling.sample import LaunchConfig
+from repro.sampling.workload import WorkloadSpec
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.patterns import double_constant_multiply, standard_prologue, store_result
+
+KERNEL = "calculate_temp"
+SOURCE = "hotspot.cu"
+
+_LOOP_LINE = 200
+_STENCIL_LINE = 202
+_SYNC_LINE = 210
+
+
+def _build(float_constant: bool = False) -> KernelSetup:
+    builder = CubinBuilder(module_name="rodinia/hotspot")
+    k = builder.kernel(KERNEL, source_file=SOURCE)
+    standard_prologue(k, addr_reg=2, line=190)
+    k.mov_imm(12, 0)
+    k.mov_imm(16, 0)
+    k.mov_imm(8, 0)
+    k.mov_imm(9, 1 << 20)
+    k.at_line(_LOOP_LINE)
+    k.isetp(0, 8, 9, "LT")
+    with k.loop("iteration", predicate=p(0)):
+        k.at_line(_LOOP_LINE)
+        k.iadd(8, 8, imm(1))
+        # Load the 5-point stencil neighbourhood from shared memory.
+        for neighbour in range(4):
+            k.at_line(_STENCIL_LINE)
+            k.lds(13 + neighbour, 16, offset=4 * neighbour)
+        k.at_line(_STENCIL_LINE + 1)
+        k.fadd(18, 13, 14)
+        k.fadd(18, 18, 15)
+        k.fadd(18, 18, 16)
+        # temp - 2.0 * center: the untyped double constant forces conversions.
+        double_constant_multiply(k, value_reg=17, out_reg=19, line=_STENCIL_LINE + 2,
+                                 optimized=float_constant)
+        k.at_line(_STENCIL_LINE + 3)
+        k.fadd(18, 18, 19)
+        k.ffma(12, 18, 18, 12)
+        k.at_line(_SYNC_LINE)
+        k.bar_sync()
+        k.at_line(_LOOP_LINE)
+        k.isetp(0, 8, 9, "LT")
+    store_result(k, 2, 12, 220)
+    builder.add_function(k.build())
+
+    workload = WorkloadSpec(
+        name="rodinia/hotspot",
+        loop_trip_counts={_LOOP_LINE: 10},
+    )
+    config = LaunchConfig(grid_blocks=1849, threads_per_block=256)
+    return KernelSetup(cubin=builder.build(), kernel=KERNEL, config=config, workload=workload)
+
+
+def baseline() -> KernelSetup:
+    return _build()
+
+
+def strength_reduced() -> KernelSetup:
+    return _build(float_constant=True)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/hotspot",
+        kernel=KERNEL,
+        optimization="Strength Reduction",
+        optimizer_name="GPUStrengthReductionOptimizer",
+        baseline=baseline,
+        optimized=strength_reduced,
+        paper_original_time="15.45us",
+        paper_achieved_speedup=1.15,
+        paper_estimated_speedup=1.10,
+    ),
+]

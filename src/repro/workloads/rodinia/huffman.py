@@ -1,0 +1,52 @@
+"""rodinia/huffman — ``vlc_encode_kernel_sm64huff`` (Warp Balance, 1.10x / 1.17x).
+
+Variable-length encoding gives warps unequal amounts of bit-packing work
+between barriers; balancing the codeword distribution reduces the
+synchronization stalls.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_barrier_imbalance_kernel
+
+KERNEL = "vlc_encode_kernel_sm64huff"
+SOURCE = "vlc_kernel_sm64huff.cu"
+
+
+def _build(balanced: bool = False) -> KernelSetup:
+    return build_barrier_imbalance_kernel(
+        "rodinia/huffman",
+        KERNEL,
+        SOURCE,
+        grid_blocks=1024,
+        threads_per_block=256,
+        heavy_trip_count=20,
+        light_trip_count=6,
+        heavy_warp_fraction=0.25,
+        rounds=3,
+        balanced=balanced,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build()
+
+
+def balanced() -> KernelSetup:
+    return _build(balanced=True)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/huffman",
+        kernel=KERNEL,
+        optimization="Warp Balance",
+        optimizer_name="GPUWarpBalanceOptimizer",
+        baseline=baseline,
+        optimized=balanced,
+        paper_original_time="133.24us",
+        paper_achieved_speedup=1.10,
+        paper_estimated_speedup=1.17,
+    ),
+]

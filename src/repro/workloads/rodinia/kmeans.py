@@ -1,0 +1,50 @@
+"""rodinia/kmeans — ``kmeansPoint`` (Loop Unrolling, 1.12x / 1.21x).
+
+The distance loop loads one feature per iteration and immediately accumulates
+it; unrolling lets several feature loads overlap.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_load_use_loop_kernel
+
+KERNEL = "kmeansPoint"
+SOURCE = "kmeans_cuda_kernel.cu"
+
+
+def _build(unroll_factor: int = 1) -> KernelSetup:
+    return build_load_use_loop_kernel(
+        "rodinia/kmeans",
+        KERNEL,
+        SOURCE,
+        grid_blocks=1936,
+        threads_per_block=256,
+        trip_count=34,
+        gap_ops=0,
+        unroll_factor=unroll_factor,
+        registers_per_thread=84,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build()
+
+
+def unrolled() -> KernelSetup:
+    return _build(unroll_factor=4)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/kmeans",
+        kernel=KERNEL,
+        optimization="Loop Unrolling",
+        optimizer_name="GPULoopUnrollingOptimizer",
+        baseline=baseline,
+        optimized=unrolled,
+        paper_original_time="787.14us",
+        paper_achieved_speedup=1.12,
+        paper_estimated_speedup=1.21,
+    ),
+]

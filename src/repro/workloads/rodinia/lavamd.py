@@ -1,0 +1,52 @@
+"""rodinia/lavaMD — ``kernel_gpu_cuda`` (Loop Unrolling, 1.11x / 1.12x).
+
+The particle-interaction loop reads neighbour particles from shared memory
+and accumulates forces; dependencies within an iteration limit the issue
+rate, and unrolling interleaves independent iterations.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_load_use_loop_kernel
+
+KERNEL = "kernel_gpu_cuda"
+SOURCE = "lavaMD_kernel.cu"
+
+
+def _build(unroll_factor: int = 1) -> KernelSetup:
+    return build_load_use_loop_kernel(
+        "rodinia/lavaMD",
+        KERNEL,
+        SOURCE,
+        grid_blocks=1000,
+        threads_per_block=128,
+        trip_count=26,
+        gap_ops=1,
+        unroll_factor=unroll_factor,
+        use_shared=True,
+        extra_work_ops=3,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build()
+
+
+def unrolled() -> KernelSetup:
+    return _build(unroll_factor=4)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/lavaMD",
+        kernel=KERNEL,
+        optimization="Loop Unrolling",
+        optimizer_name="GPULoopUnrollingOptimizer",
+        baseline=baseline,
+        optimized=unrolled,
+        paper_original_time="4.07ms",
+        paper_achieved_speedup=1.11,
+        paper_estimated_speedup=1.12,
+    ),
+]

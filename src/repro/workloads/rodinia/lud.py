@@ -1,0 +1,53 @@
+"""rodinia/lud — ``lud_diagonal`` (Code Reorder, 1.36x / 1.48x).
+
+The diagonal factorization loads pivot-row elements and consumes them
+immediately inside a barrier-delimited loop; prefetching the next column
+before the update widens the def-use distance.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_load_use_loop_kernel
+
+KERNEL = "lud_diagonal"
+SOURCE = "lud_kernel.cu"
+
+
+def _build(gap_ops: int = 0, tail_ops: int = 8) -> KernelSetup:
+    return build_load_use_loop_kernel(
+        "rodinia/lud",
+        KERNEL,
+        SOURCE,
+        grid_blocks=256,
+        threads_per_block=64,
+        trip_count=16,
+        gap_ops=gap_ops,
+        tail_ops=tail_ops,
+        loads_per_iteration=2,
+        sync_in_loop=True,
+        memory_latency_scale=1.2,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build(gap_ops=0, tail_ops=8)
+
+
+def reordered() -> KernelSetup:
+    return _build(gap_ops=8, tail_ops=0)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/lud",
+        kernel=KERNEL,
+        optimization="Code Reorder",
+        optimizer_name="GPUCodeReorderingOptimizer",
+        baseline=baseline,
+        optimized=reordered,
+        paper_original_time="221.81us",
+        paper_achieved_speedup=1.36,
+        paper_estimated_speedup=1.48,
+    ),
+]

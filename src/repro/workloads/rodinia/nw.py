@@ -1,0 +1,54 @@
+"""rodinia/nw — ``needle_cuda_shared_1`` (Warp Balance, 1.10x / 1.09x).
+
+Needleman-Wunsch processes anti-diagonals of a tile: early and late
+iterations give different warps different amounts of work before each
+barrier.  The intricate (fully-unrolled, conditional-max) control flow is
+also why nw keeps multiple same-class dependency edges in Figure 7.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_barrier_imbalance_kernel
+
+KERNEL = "needle_cuda_shared_1"
+SOURCE = "needle_kernel.cu"
+
+
+def _build(balanced: bool = False) -> KernelSetup:
+    return build_barrier_imbalance_kernel(
+        "rodinia/nw",
+        KERNEL,
+        SOURCE,
+        grid_blocks=128,
+        threads_per_block=32,
+        heavy_trip_count=24,
+        light_trip_count=8,
+        heavy_warp_fraction=0.5,
+        rounds=4,
+        work_ops_per_iteration=5,
+        balanced=balanced,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build()
+
+
+def balanced() -> KernelSetup:
+    return _build(balanced=True)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/nw",
+        kernel=KERNEL,
+        optimization="Warp Balance",
+        optimizer_name="GPUWarpBalanceOptimizer",
+        baseline=baseline,
+        optimized=balanced,
+        paper_original_time="840.70us",
+        paper_achieved_speedup=1.10,
+        paper_estimated_speedup=1.09,
+    ),
+]

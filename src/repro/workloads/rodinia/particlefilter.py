@@ -1,0 +1,52 @@
+"""rodinia/particlefilter — ``likelihood_kernel`` (Block Increase, 1.92x / 1.93x).
+
+The likelihood kernel launches far fewer blocks than the GPU has SMs, leaving
+most of the machine idle.  Splitting the same work across more blocks nearly
+doubles the throughput.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_parallelism_kernel
+
+KERNEL = "likelihood_kernel"
+SOURCE = "ex_particle_CUDA_float_seq.cu"
+
+
+def _build(grid_blocks: int, trip_count: int) -> KernelSetup:
+    return build_parallelism_kernel(
+        "rodinia/particlefilter",
+        KERNEL,
+        SOURCE,
+        grid_blocks=grid_blocks,
+        threads_per_block=512,
+        trip_count=trip_count,
+        loads_per_iteration=2,
+        work_ops_per_iteration=4,
+    )
+
+
+def baseline() -> KernelSetup:
+    # 40 blocks on an 80-SM GPU: half the SMs never receive work.
+    return _build(grid_blocks=40, trip_count=32)
+
+
+def more_blocks() -> KernelSetup:
+    # The same total work split across 80 blocks.
+    return _build(grid_blocks=80, trip_count=16)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/particlefilter",
+        kernel=KERNEL,
+        optimization="Block Increase",
+        optimizer_name="GPUBlockIncreaseOptimizer",
+        baseline=baseline,
+        optimized=more_blocks,
+        paper_original_time="2.34ms",
+        paper_achieved_speedup=1.92,
+        paper_estimated_speedup=1.93,
+    ),
+]

@@ -1,0 +1,49 @@
+"""rodinia/streamcluster — ``kernel_compute_cost`` (Block Increase, 1.52x / 1.46x).
+
+Like particlefilter, the cost kernel launches too few blocks to occupy every
+SM; splitting the point range across more blocks recovers the idle SMs.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.families import build_parallelism_kernel
+
+KERNEL = "kernel_compute_cost"
+SOURCE = "streamcluster_cuda.cu"
+
+
+def _build(grid_blocks: int, trip_count: int) -> KernelSetup:
+    return build_parallelism_kernel(
+        "rodinia/streamcluster",
+        KERNEL,
+        SOURCE,
+        grid_blocks=grid_blocks,
+        threads_per_block=512,
+        trip_count=trip_count,
+        loads_per_iteration=1,
+        work_ops_per_iteration=6,
+    )
+
+
+def baseline() -> KernelSetup:
+    return _build(grid_blocks=50, trip_count=24)
+
+
+def more_blocks() -> KernelSetup:
+    return _build(grid_blocks=100, trip_count=12)
+
+
+CASES = [
+    BenchmarkCase(
+        name="rodinia/streamcluster",
+        kernel=KERNEL,
+        optimization="Block Increase",
+        optimizer_name="GPUBlockIncreaseOptimizer",
+        baseline=baseline,
+        optimized=more_blocks,
+        paper_original_time="21.51ms",
+        paper_achieved_speedup=1.52,
+        paper_estimated_speedup=1.46,
+    ),
+]

@@ -1,0 +1,93 @@
+"""Tests for the GPA facade, the report format and the CLI."""
+
+import json
+
+import pytest
+
+from repro.advisor.advisor import GPA
+from repro.advisor.cli import main as cli_main
+from repro.advisor.report import render_report
+from repro.advisor.static_analyzer import StaticAnalyzer
+from repro.sampling.profiler import Profiler
+
+
+class TestStaticAnalyzer:
+    def test_analysis_contains_structure_arch_and_disassembly(self, toy_cubin):
+        analysis = StaticAnalyzer().analyze(toy_cubin)
+        assert analysis.architecture.arch_flag == "sm_70"
+        assert "toy_kernel" in analysis.structure.functions
+        assert "LDG" in analysis.listing("toy_kernel")
+
+    def test_unknown_arch_flag_falls_back_to_default(self, toy_cubin):
+        toy_cubin_copy = type(toy_cubin)(arch_flag="sm_123", functions=dict(toy_cubin.functions))
+        analysis = StaticAnalyzer().analyze(toy_cubin_copy)
+        assert analysis.architecture.arch_flag == "sm_70"
+
+
+class TestAdviceReport:
+    def test_advice_is_sorted_by_estimated_speedup(self, toy_report):
+        applicable = [item for item in toy_report.advice if item.applicable]
+        speedups = [item.estimated_speedup for item in applicable]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_report_covers_all_registered_optimizers(self, toy_report):
+        assert len(toy_report.advice) == 11
+
+    def test_render_includes_figure8_elements(self, toy_report):
+        text = render_report(toy_report)
+        assert "GPA advice report" in text
+        assert "estimate speedup" in text
+        assert "ratio" in text
+        assert "toy_kernel" in text
+
+    def test_top_limits_the_number_of_suggestions(self, toy_report):
+        assert len(toy_report.top(2)) == 2
+
+    def test_to_dict_is_json_serializable(self, toy_report):
+        payload = json.loads(json.dumps(toy_report.to_dict()))
+        assert payload["kernel"] == "toy_kernel"
+        assert len(payload["advice"]) == 11
+        assert payload["totals"]["total_samples"] > 0
+
+
+class TestGPAFacade:
+    def test_advise_equals_profile_plus_analyze(self, toy_cubin, toy_config, toy_workload):
+        gpa = GPA(sample_period=8)
+        report = gpa.advise(toy_cubin, "toy_kernel", toy_config, toy_workload)
+        assert report.kernel == "toy_kernel"
+        assert report.advice
+
+    def test_analyze_offline_profile(self, toy_cubin, toy_config, toy_workload, tmp_path):
+        """The offline workflow: dump the profile + binary, reload, analyze."""
+        from repro.cubin.binary import Cubin
+        from repro.structure.program import build_program_structure
+
+        profiler = Profiler(sample_period=8)
+        profiled = profiler.profile(toy_cubin, "toy_kernel", toy_config, toy_workload)
+        profile_path = Profiler.dump(profiled, tmp_path)
+        restored_profile = Profiler.load_profile(profile_path)
+        restored_cubin = Cubin.from_json((tmp_path / "toy_module.json").read_text())
+        report = GPA().analyze(restored_profile, build_program_structure(restored_cubin))
+        assert report.advice
+        assert report.profile.total_samples == profiled.profile.total_samples
+
+
+class TestCli:
+    def test_list_cases(self, capsys):
+        assert cli_main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "rodinia/hotspot" in output
+        assert "GPUStrengthReductionOptimizer" in output
+
+    def test_case_report_text(self, capsys):
+        assert cli_main(["--case", "rodinia/gaussian:thread_increase", "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "GPA advice report for kernel Fan2" in output
+
+    def test_case_report_json(self, capsys):
+        assert cli_main(["--case", "rodinia/gaussian:thread_increase", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "Fan2"
+
+    def test_no_arguments_shows_help(self, capsys):
+        assert cli_main([]) == 2

@@ -1,0 +1,60 @@
+"""Tests for the architecture models."""
+
+import pytest
+
+from repro.arch.machine import (
+    ArchitectureError,
+    GpuArchitecture,
+    KeplerLike,
+    PascalLike,
+    VoltaV100,
+    get_architecture,
+    register_architecture,
+)
+
+
+def test_volta_configuration_matches_paper_platform():
+    assert VoltaV100.arch_flag == "sm_70"
+    assert VoltaV100.num_sms == 80
+    assert VoltaV100.schedulers_per_sm == 4
+    assert VoltaV100.warp_size == 32
+    assert VoltaV100.max_registers_per_thread == 255
+    assert VoltaV100.max_warps_per_scheduler == 16
+
+
+def test_lookup_by_arch_flag():
+    assert get_architecture("sm_70") is VoltaV100
+    assert get_architecture("sm_60") is PascalLike
+    with pytest.raises(ArchitectureError):
+        get_architecture("sm_999")
+
+
+def test_latency_overrides():
+    assert KeplerLike.latency("FADD") == 9
+    assert VoltaV100.latency("FADD") == 4
+    assert PascalLike.latency("LDG") == 450
+
+
+def test_latency_upper_bound_for_variable_latency():
+    assert VoltaV100.latency_upper_bound("LDG") > VoltaV100.latency("LDG")
+    assert VoltaV100.latency_upper_bound("IADD") == VoltaV100.latency("IADD")
+
+
+def test_cycles_to_microseconds():
+    assert VoltaV100.cycles_to_microseconds(1380) == pytest.approx(1.0)
+
+
+def test_register_architecture_roundtrip():
+    custom = GpuArchitecture(
+        name="Test", arch_flag="sm_999", num_sms=1, schedulers_per_sm=1, warp_size=32,
+        max_warps_per_sm=8, max_blocks_per_sm=4, max_threads_per_block=256,
+        registers_per_sm=1024, max_registers_per_thread=64, register_allocation_unit=8,
+        shared_memory_per_sm=1024, shared_memory_allocation_unit=8,
+        instruction_cache_bytes=1024, max_outstanding_memory_requests=8,
+    )
+    register_architecture(custom)
+    try:
+        assert get_architecture("sm_999") is custom
+    finally:
+        from repro.arch import machine
+        machine._REGISTRY.pop("sm_999", None)

@@ -1,0 +1,87 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.machine import VoltaV100
+from repro.arch.occupancy import OccupancyCalculator
+
+
+@pytest.fixture(scope="module")
+def calculator():
+    return OccupancyCalculator(VoltaV100)
+
+
+def test_full_occupancy_with_moderate_resources(calculator):
+    result = calculator.calculate(grid_blocks=8000, threads_per_block=256,
+                                  registers_per_thread=32)
+    assert result.warps_per_sm == 64
+    assert result.occupancy == pytest.approx(1.0)
+    assert result.warps_per_scheduler == pytest.approx(16.0)
+
+
+def test_register_limited_occupancy(calculator):
+    result = calculator.calculate(grid_blocks=8000, threads_per_block=256,
+                                  registers_per_thread=128)
+    assert result.limiter == "registers"
+    assert result.occupancy < 1.0
+
+
+def test_shared_memory_limited_occupancy(calculator):
+    result = calculator.calculate(grid_blocks=8000, threads_per_block=128,
+                                  registers_per_thread=32,
+                                  shared_memory_per_block=48 * 1024)
+    assert result.limiter == "shared_memory"
+    assert result.blocks_per_sm == 2
+
+
+def test_block_limited_occupancy_with_tiny_blocks(calculator):
+    # 16-thread blocks: the 32-blocks/SM limit caps occupancy (gaussian Fan2).
+    result = calculator.calculate(grid_blocks=100000, threads_per_block=16,
+                                  registers_per_thread=32)
+    assert result.limiter == "blocks"
+    assert result.warps_per_sm == 32
+
+
+def test_grid_limited_occupancy(calculator):
+    # Fewer blocks than SMs: each SM gets at most one block (PeleC / particlefilter).
+    result = calculator.calculate(grid_blocks=16, threads_per_block=256,
+                                  registers_per_thread=32)
+    assert result.limiter == "grid"
+    assert result.blocks_per_sm == 1
+    assert result.is_grid_limited
+
+
+def test_waves_computation(calculator):
+    result = calculator.calculate(grid_blocks=160, threads_per_block=1024,
+                                  registers_per_thread=32)
+    assert result.waves == pytest.approx(160 / (2 * 80))
+
+
+def test_invalid_launches_rejected(calculator):
+    with pytest.raises(ValueError):
+        calculator.calculate(grid_blocks=1, threads_per_block=0)
+    with pytest.raises(ValueError):
+        calculator.calculate(grid_blocks=1, threads_per_block=2048)
+    with pytest.raises(ValueError):
+        calculator.calculate(grid_blocks=1, threads_per_block=1024,
+                             registers_per_thread=255)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    grid=st.integers(min_value=1, max_value=100000),
+    threads=st.integers(min_value=1, max_value=1024),
+    registers=st.integers(min_value=16, max_value=128),
+)
+def test_occupancy_invariants(grid, threads, registers):
+    """Occupancy never exceeds hardware limits, whatever the launch shape."""
+    calculator = OccupancyCalculator(VoltaV100)
+    try:
+        result = calculator.calculate(grid, threads, registers)
+    except ValueError:
+        return  # configurations that exceed per-SM resources are rejected
+    assert 0 < result.blocks_per_sm <= VoltaV100.max_blocks_per_sm
+    assert 0 < result.warps_per_sm <= VoltaV100.max_warps_per_sm
+    assert 0.0 < result.occupancy <= 1.0
+    assert result.warps_per_scheduler <= VoltaV100.max_warps_per_scheduler

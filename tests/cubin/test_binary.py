@@ -1,0 +1,64 @@
+"""Tests for the CUBIN container, serialization and the disassembler."""
+
+import pytest
+
+from repro.cubin.binary import Cubin, FunctionVisibility
+from repro.cubin.disasm import disassemble_cubin, disassemble_function, render_listing
+
+
+class TestCubin:
+    def test_kernels_and_device_functions(self, toy_cubin):
+        assert [f.name for f in toy_cubin.kernels()] == ["toy_kernel"]
+        assert toy_cubin.device_functions() == []
+
+    def test_function_lookup_error(self, toy_cubin):
+        with pytest.raises(KeyError):
+            toy_cubin.function("missing")
+
+    def test_duplicate_function_rejected(self, toy_cubin):
+        with pytest.raises(ValueError):
+            toy_cubin.add_function(toy_cubin.function("toy_kernel"))
+
+    def test_code_size(self, toy_cubin):
+        function = toy_cubin.function("toy_kernel")
+        assert function.code_size == 16 * len(function.instructions)
+
+    def test_line_table_covers_annotated_instructions(self, toy_cubin):
+        function = toy_cubin.function("toy_kernel")
+        lines = {entry.line for entry in function.line_table()}
+        assert {10, 12, 13, 14, 16, 17} <= lines
+
+    def test_json_roundtrip_preserves_structure(self, toy_cubin):
+        restored = Cubin.from_json(toy_cubin.to_json())
+        assert set(restored.functions) == set(toy_cubin.functions)
+        original = toy_cubin.function("toy_kernel")
+        copy = restored.function("toy_kernel")
+        assert copy.visibility is FunctionVisibility.GLOBAL
+        assert copy.registers_per_thread == original.registers_per_thread
+        assert [i.opcode for i in copy.instructions] == [i.opcode for i in original.instructions]
+        assert [i.line for i in copy.instructions] == [i.line for i in original.instructions]
+        branch_targets = [i.target for i in copy.instructions if i.opcode == "BRA"]
+        assert branch_targets == [i.target for i in original.instructions if i.opcode == "BRA"]
+
+
+class TestDisassembler:
+    def test_listing_contains_offsets_and_lines(self, toy_cubin):
+        listing = render_listing(toy_cubin.function("toy_kernel"))
+        assert "/*0000*/" in listing
+        assert 'line 13' in listing
+        assert "LDG" in listing
+
+    def test_disassemble_builds_cfg(self, toy_cubin):
+        result = disassemble_function(toy_cubin.function("toy_kernel"))
+        assert len(result.cfg.blocks) >= 3
+        assert result.name == "toy_kernel"
+
+    def test_disassemble_from_encoded_bytes(self, toy_cubin):
+        from_memory = disassemble_function(toy_cubin.function("toy_kernel"))
+        from_bytes = disassemble_function(toy_cubin.function("toy_kernel"), from_bytes=True)
+        assert [i.opcode for i in from_bytes.instructions] == [
+            i.opcode for i in from_memory.instructions
+        ]
+
+    def test_disassemble_cubin_covers_all_functions(self, toy_cubin):
+        assert set(disassemble_cubin(toy_cubin)) == set(toy_cubin.functions)

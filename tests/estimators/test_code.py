@@ -1,0 +1,97 @@
+"""Tests for the code-optimization estimators (Equations 2-5, Theorem 5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimators.code import (
+    combined_scoped_speedup,
+    latency_hiding_speedup,
+    latency_hiding_upper_bound,
+    scoped_latency_hiding_speedup,
+    stall_elimination_speedup,
+)
+
+
+class TestStallElimination:
+    def test_equation2_basic(self):
+        # T=100, M=20 -> 100 / 80 = 1.25x
+        assert stall_elimination_speedup(100, 20) == pytest.approx(1.25)
+
+    def test_no_match_means_no_speedup(self):
+        assert stall_elimination_speedup(100, 0) == 1.0
+
+    def test_empty_profile(self):
+        assert stall_elimination_speedup(0, 0) == 1.0
+
+    def test_matching_everything_is_guarded(self):
+        assert stall_elimination_speedup(100, 100) > 10.0
+
+    @given(total=st.integers(1, 10_000), matched=st.integers(0, 10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_speedup_at_least_one_and_monotone(self, total, matched):
+        speedup = stall_elimination_speedup(total, matched)
+        assert speedup >= 1.0
+        smaller = stall_elimination_speedup(total, matched // 2)
+        assert speedup >= smaller - 1e-9
+
+
+class TestLatencyHiding:
+    def test_equation4_limited_by_active_samples(self):
+        # T=100, A=10, ML=50: only 10 samples of work can move into stalls.
+        assert latency_hiding_speedup(100, 10, 50) == pytest.approx(100 / 90)
+
+    def test_equation4_limited_by_matched_latency(self):
+        assert latency_hiding_speedup(100, 60, 20) == pytest.approx(100 / 80)
+
+    @given(
+        active=st.integers(0, 5_000),
+        latency=st.integers(0, 5_000),
+        matched_fraction=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_theorem_5_1_upper_bound(self, active, latency, matched_fraction):
+        """Theorem 5.1: the latency-hiding speedup never exceeds 2x."""
+        total = active + latency
+        matched = matched_fraction * latency
+        speedup = latency_hiding_speedup(total, active, matched)
+        assert 1.0 <= speedup <= latency_hiding_upper_bound() + 1e-9
+
+    def test_upper_bound_is_two(self):
+        assert latency_hiding_upper_bound() == 2.0
+        # The bound is reached when A == ML == L == T/2.
+        assert latency_hiding_speedup(100, 50, 50) == pytest.approx(2.0)
+
+
+class TestScopedLatencyHiding:
+    def test_equation5_scope_limits_benefit(self):
+        # Matched latency 40, but the loop only has 5 active samples to move.
+        scoped = scoped_latency_hiding_speedup(100, [5], 40)
+        unscoped = latency_hiding_speedup(100, 50, 40)
+        assert scoped == pytest.approx(100 / 95)
+        assert scoped < unscoped
+
+    def test_equation5_nested_scopes_contribute_active_samples(self):
+        nested = scoped_latency_hiding_speedup(100, [5, 10, 10], 40)
+        assert nested == pytest.approx(100 / 75)
+
+    def test_combined_scopes_sum_hidden_latency(self):
+        speedup = combined_scoped_speedup(200, {
+            "loop_a": (10, 30),   # hides 10
+            "loop_b": (25, 15),   # hides 15
+        })
+        assert speedup == pytest.approx(200 / 175)
+
+    def test_combined_scopes_empty(self):
+        assert combined_scoped_speedup(100, {}) == 1.0
+
+    @given(
+        total=st.integers(1, 10_000),
+        scopes=st.lists(
+            st.tuples(st.floats(0, 1_000), st.floats(0, 1_000)), max_size=6
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_combined_speedup_bounded(self, total, scopes):
+        per_scope = {index: pair for index, pair in enumerate(scopes)}
+        speedup = combined_scoped_speedup(total, per_scope)
+        assert speedup >= 1.0

@@ -1,0 +1,96 @@
+"""Tests for the parallel estimator (Equations 6-10)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.machine import VoltaV100
+from repro.estimators.parallel import ParallelEstimator
+from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
+
+
+def make_profile(grid_blocks, threads_per_block, warps_per_scheduler, issue_ratio,
+                 total=1000):
+    statistics = LaunchStatistics(
+        kernel="k",
+        config=LaunchConfig(grid_blocks, threads_per_block),
+        registers_per_thread=32,
+        blocks_per_sm=max(1, int(warps_per_scheduler * 4 * 32 // max(threads_per_block, 1))),
+        warps_per_sm=int(warps_per_scheduler * 4),
+        warps_per_scheduler=warps_per_scheduler,
+        occupancy=warps_per_scheduler / 16,
+        occupancy_limiter="warps",
+        waves=1.0,
+        wave_cycles=10_000,
+        kernel_cycles=10_000,
+        sample_period=8,
+    )
+    profile = KernelProfile(kernel="k", statistics=statistics)
+    active = int(total * issue_ratio)
+    profile.record_issue("k", 0, active)
+    from repro.sampling.stall_reasons import StallReason
+
+    profile.record_stall("k", 16, StallReason.MEMORY_DEPENDENCY, total - active)
+    return profile
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return ParallelEstimator(VoltaV100)
+
+
+class TestIssueRateModel:
+    def test_equations_8_and_9_invert_each_other(self, estimator):
+        per_warp = estimator.per_warp_ready_rate(0.4, 8)
+        assert estimator.scheduler_issue_rate(per_warp, 8) == pytest.approx(0.4, rel=1e-6)
+
+    def test_more_warps_increase_issue_rate(self, estimator):
+        per_warp = 0.05
+        assert (estimator.scheduler_issue_rate(per_warp, 16)
+                > estimator.scheduler_issue_rate(per_warp, 4))
+
+    @given(issue=st.floats(0.01, 0.99), warps=st.floats(1, 16))
+    @settings(max_examples=200, deadline=None)
+    def test_rates_stay_in_unit_interval(self, issue, warps):
+        estimator = ParallelEstimator(VoltaV100)
+        per_warp = estimator.per_warp_ready_rate(issue, warps)
+        assert 0.0 <= per_warp <= 1.0
+        assert 0.0 <= estimator.scheduler_issue_rate(per_warp, warps) <= 1.0
+
+
+class TestParallelEstimate:
+    def test_block_increase_for_grid_limited_kernel(self, estimator):
+        # 16 blocks on an 80-SM GPU; splitting the work across 80 blocks.
+        profile = make_profile(16, 1024, warps_per_scheduler=8, issue_ratio=0.3)
+        estimate = estimator.estimate(profile, LaunchConfig(80, 1024),
+                                      total_work_factor=1.0)
+        assert estimate.speedup > 1.5
+
+    def test_reshaping_blocks_keeps_total_threads(self, estimator):
+        profile = make_profile(16, 1024, warps_per_scheduler=8, issue_ratio=0.3)
+        estimate = estimator.estimate(profile, LaunchConfig(32, 512))
+        assert estimate.speedup > 1.0
+        assert estimate.cw < 1.0  # fewer warps per scheduler
+
+    def test_thread_increase_for_tiny_blocks(self, estimator):
+        # 16-thread blocks pad every warp with idle lanes (gaussian Fan2).
+        profile = make_profile(16384, 16, warps_per_scheduler=8, issue_ratio=0.25)
+        estimate = estimator.estimate(profile, LaunchConfig(1024, 256))
+        assert estimate.speedup > 1.5
+
+    def test_equation10_identity_holds(self, estimator):
+        profile = make_profile(40, 512, warps_per_scheduler=4, issue_ratio=0.3)
+        estimate = estimator.estimate(profile, LaunchConfig(80, 512),
+                                      total_work_factor=1.0)
+        assert estimate.speedup == pytest.approx((1.0 / estimate.cw) * estimate.ci * estimate.f)
+
+    def test_describe_mentions_configuration(self, estimator):
+        profile = make_profile(40, 512, warps_per_scheduler=4, issue_ratio=0.3)
+        estimate = estimator.estimate(profile, LaunchConfig(80, 512))
+        assert "blocks=80" in estimate.describe()
+
+    def test_no_change_means_no_speedup(self, estimator):
+        profile = make_profile(8000, 256, warps_per_scheduler=16, issue_ratio=0.5)
+        estimate = estimator.estimate(profile, LaunchConfig(8000, 256))
+        assert estimate.speedup == pytest.approx(1.0, abs=0.05)
+        assert estimate.cw == pytest.approx(1.0)
+        assert estimate.ci == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Tests for the instruction / control-code model."""
+
+import pytest
+
+from repro.isa.instruction import ControlCode, Instruction
+from repro.isa.registers import (
+    BarrierRegister,
+    ImmediateOperand,
+    MemoryOperand,
+    MemorySpace,
+    Predicate,
+    RegisterOperand,
+)
+
+
+def make_ldg(predicate=Predicate(7)) -> Instruction:
+    return Instruction(
+        offset=0x10,
+        opcode="LDG",
+        modifiers=("E", "32"),
+        predicate=predicate,
+        dests=(RegisterOperand(0),),
+        sources=(MemoryOperand(RegisterOperand(2), space=MemorySpace.GLOBAL),),
+        control=ControlCode(write_barrier=0),
+    )
+
+
+class TestControlCode:
+    def test_defaults(self):
+        code = ControlCode()
+        assert code.stall_cycles == 1
+        assert code.defined_barriers == frozenset()
+        assert code.waited_barriers == frozenset()
+
+    def test_defined_and_waited_barriers(self):
+        code = ControlCode(write_barrier=0, read_barrier=3, wait_mask=frozenset({1, 2}))
+        assert code.defined_barriers == {BarrierRegister(0), BarrierRegister(3)}
+        assert code.waited_barriers == {BarrierRegister(1), BarrierRegister(2)}
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ControlCode(stall_cycles=16)
+        with pytest.raises(ValueError):
+            ControlCode(write_barrier=6)
+        with pytest.raises(ValueError):
+            ControlCode(wait_mask=frozenset({7}))
+
+    def test_render(self):
+        code = ControlCode(stall_cycles=4, write_barrier=0, wait_mask=frozenset({1}))
+        assert code.render() == "[B1:W0:R-:S4:Y]"
+
+
+class TestInstruction:
+    def test_table1_field_access(self):
+        """The '@P0 LDG.32 R0, [R2]' dissection of Table 1."""
+        instruction = Instruction(
+            offset=0,
+            opcode="LDG",
+            modifiers=("32",),
+            predicate=Predicate(0),
+            dests=(RegisterOperand(0),),
+            sources=(MemoryOperand(RegisterOperand(2), space=MemorySpace.GLOBAL),),
+            control=ControlCode(write_barrier=0, read_barrier=1),
+        )
+        assert instruction.is_predicated
+        assert instruction.defined_registers == {RegisterOperand(0)}
+        # The 64-bit global address occupies the register pair R2, R3.
+        assert instruction.used_registers == {RegisterOperand(2), RegisterOperand(3)}
+        assert instruction.defined_barriers == {BarrierRegister(0), BarrierRegister(1)}
+
+    def test_unpredicated_instruction(self):
+        instruction = make_ldg()
+        assert not instruction.is_predicated
+
+    def test_memory_space(self):
+        assert make_ldg().memory_space is MemorySpace.GLOBAL
+
+    def test_store_defines_no_registers(self):
+        store = Instruction(
+            offset=0,
+            opcode="STG",
+            dests=(MemoryOperand(RegisterOperand(2), space=MemorySpace.GLOBAL),),
+            sources=(RegisterOperand(5),),
+        )
+        assert store.defined_registers == frozenset()
+        assert RegisterOperand(5) in store.used_registers
+        assert RegisterOperand(2) in store.used_registers
+
+    def test_predicate_defs_and_uses(self):
+        setp = Instruction(
+            offset=0,
+            opcode="ISETP",
+            modifiers=("GE", "AND"),
+            dests=(Predicate(0),),
+            sources=(RegisterOperand(3), RegisterOperand(4)),
+        )
+        assert setp.defined_predicates == {Predicate(0)}
+        guarded = Instruction(
+            offset=16,
+            opcode="IADD",
+            predicate=Predicate(0, negated=True),
+            dests=(RegisterOperand(1),),
+            sources=(RegisterOperand(2), ImmediateOperand(1)),
+        )
+        assert Predicate(0) in guarded.used_predicates
+
+    def test_double_precision_writes_pair(self):
+        dmul = Instruction(
+            offset=0,
+            opcode="DMUL",
+            dests=(RegisterOperand(6),),
+            sources=(RegisterOperand(8), RegisterOperand(10)),
+        )
+        assert RegisterOperand(6) in dmul.defined_registers
+        assert RegisterOperand(7) in dmul.defined_registers
+
+    def test_classification_properties(self):
+        assert make_ldg().is_memory and make_ldg().is_load
+        bar = Instruction(offset=0, opcode="BAR", modifiers=("SYNC",))
+        assert bar.is_synchronization
+        bra = Instruction(offset=0, opcode="BRA", target=0x40)
+        assert bra.is_branch and bra.is_control
+        exit_instruction = Instruction(offset=0, opcode="EXIT")
+        assert exit_instruction.is_exit
+
+    def test_render_roundtrips_basic_fields(self):
+        text = make_ldg(Predicate(0)).render()
+        assert text.startswith("@P0 LDG.E.32 R0")
+        assert "[R2]" in text

@@ -1,0 +1,94 @@
+"""Tests for the operand / register model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import (
+    ALWAYS,
+    BarrierRegister,
+    ImmediateOperand,
+    MemoryOperand,
+    MemorySpace,
+    Predicate,
+    RegisterOperand,
+    ZERO_REGISTER_INDEX,
+)
+
+
+class TestRegisterOperand:
+    def test_str(self):
+        assert str(RegisterOperand(7)) == "R7"
+
+    def test_zero_register(self):
+        assert RegisterOperand(ZERO_REGISTER_INDEX).is_zero
+        assert str(RegisterOperand(ZERO_REGISTER_INDEX)) == "RZ"
+
+    def test_pair(self):
+        low, high = RegisterOperand(4).pair()
+        assert (low.index, high.index) == (4, 5)
+
+    def test_zero_pair_is_zero(self):
+        low, high = RegisterOperand(ZERO_REGISTER_INDEX).pair()
+        assert low.is_zero and high.is_zero
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterOperand(256)
+        with pytest.raises(ValueError):
+            RegisterOperand(-1)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_ordering_consistent_with_index(self, index):
+        assert (RegisterOperand(0) <= RegisterOperand(index))
+
+
+class TestPredicate:
+    def test_true_and_false_conditions(self):
+        assert str(Predicate(0)) == "P0"
+        assert str(Predicate(0, negated=True)) == "!P0"
+
+    def test_always_predicate(self):
+        assert ALWAYS.is_true_predicate
+        assert str(ALWAYS) == "PT"
+
+    def test_complement(self):
+        assert Predicate(3).complement() == Predicate(3, negated=True)
+        assert Predicate(3, True).complement() == Predicate(3, False)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate(8)
+
+
+class TestBarrierRegister:
+    @pytest.mark.parametrize("index", range(6))
+    def test_valid_indices(self, index):
+        assert str(BarrierRegister(index)) == f"B{index}"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BarrierRegister(6)
+
+
+class TestMemoryOperand:
+    def test_global_address_uses_register_pair(self):
+        operand = MemoryOperand(RegisterOperand(2), space=MemorySpace.GLOBAL)
+        assert [r.index for r in operand.address_registers()] == [2, 3]
+
+    def test_shared_address_uses_single_register(self):
+        operand = MemoryOperand(RegisterOperand(6), space=MemorySpace.SHARED)
+        assert [r.index for r in operand.address_registers()] == [6]
+
+    def test_zero_base_has_no_address_registers(self):
+        operand = MemoryOperand(RegisterOperand(ZERO_REGISTER_INDEX))
+        assert operand.address_registers() == ()
+
+    def test_str_with_offset(self):
+        operand = MemoryOperand(RegisterOperand(2), offset=0x10)
+        assert str(operand) == "[R2+0x10]"
+
+
+class TestImmediateOperand:
+    def test_double_flag(self):
+        assert ImmediateOperand(2.0, is_double=True).is_double
+        assert not ImmediateOperand(2.0).is_double

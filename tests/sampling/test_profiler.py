@@ -1,0 +1,85 @@
+"""Tests for the profiler facade and the profile data model."""
+
+import pytest
+
+from repro.arch.machine import VoltaV100
+from repro.sampling.profiler import Profiler
+from repro.sampling.sample import KernelProfile, LaunchConfig
+from repro.sampling.stall_reasons import StallReason
+from repro.sampling.workload import WorkloadSpec
+
+
+class TestLaunchConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0, 32)
+        with pytest.raises(ValueError):
+            LaunchConfig(1, 0)
+
+    def test_with_helpers(self):
+        config = LaunchConfig(16, 256)
+        assert config.with_blocks(32).grid_blocks == 32
+        assert config.with_threads(512).threads_per_block == 512
+        assert config.total_threads == 16 * 256
+
+
+class TestProfiler:
+    def test_profile_contains_launch_statistics(self, toy_profiled, toy_config):
+        stats = toy_profiled.profile.statistics
+        assert stats.kernel == "toy_kernel"
+        assert stats.config == toy_config
+        assert stats.warps_per_sm > 0
+        assert stats.wave_cycles > 0
+        assert stats.kernel_cycles >= stats.wave_cycles
+
+    def test_profile_totals_consistent(self, toy_profiled):
+        profile = toy_profiled.profile
+        assert profile.total_samples == profile.active_samples + profile.latency_samples
+        assert 0.0 <= profile.stall_ratio <= 1.0
+        assert profile.stall_ratio + profile.active_ratio == pytest.approx(1.0)
+
+    def test_stalls_by_reason_includes_memory_dependency(self, toy_profiled):
+        reasons = toy_profiled.profile.stalls_by_reason()
+        assert reasons.get(StallReason.MEMORY_DEPENDENCY, 0) > 0
+
+    def test_issue_samples_at_known_instruction(self, toy_profiled):
+        profile = toy_profiled.profile
+        assert any(entry.issue_samples > 0 for entry in profile.instructions.values())
+
+    def test_unknown_kernel_rejected(self, toy_cubin):
+        profiler = Profiler(VoltaV100, sample_period=8)
+        with pytest.raises(KeyError):
+            profiler.profile(toy_cubin, "missing_kernel", LaunchConfig(1, 32))
+
+    def test_profile_json_roundtrip(self, toy_profiled):
+        profile = toy_profiled.profile
+        restored = KernelProfile.from_json(profile.to_json())
+        assert restored.total_samples == profile.total_samples
+        assert restored.stalls_by_reason() == profile.stalls_by_reason()
+        assert restored.statistics.wave_cycles == profile.statistics.wave_cycles
+        key = next(iter(profile.instructions))
+        assert restored.instructions[key].issue_samples == profile.instructions[key].issue_samples
+
+    def test_dump_and_load(self, toy_profiled, tmp_path):
+        path = Profiler.dump(toy_profiled, tmp_path)
+        assert path.exists()
+        restored = Profiler.load_profile(path)
+        assert restored.kernel == "toy_kernel"
+        assert restored.total_samples == toy_profiled.profile.total_samples
+
+    def test_grid_limited_launch_uses_fewer_blocks_on_sm(self, toy_cubin, toy_workload):
+        profiler = Profiler(VoltaV100, sample_period=8)
+        result = profiler.profile(toy_cubin, "toy_kernel", LaunchConfig(16, 128), toy_workload)
+        assert result.occupancy.blocks_per_sm == 1
+        assert result.profile.statistics.occupancy_limiter == "grid"
+
+    def test_grid_position_dependent_workloads_profile_cleanly(self, toy_cubin):
+        # Per-warp trip counts that depend on the grid position exercise the
+        # representative-block selection of the profiler.
+        workload = WorkloadSpec(
+            loop_trip_counts={12: lambda warp, total: 24 if warp < total // 2 else 2}
+        )
+        profiler = Profiler(VoltaV100, sample_period=8)
+        result = profiler.profile(toy_cubin, "toy_kernel", LaunchConfig(320, 128), workload)
+        assert result.profile.total_samples > 0
+        assert result.simulation.issued_instructions > 0

@@ -1,0 +1,87 @@
+"""Tests for dynamic trace generation."""
+
+import pytest
+
+from repro.arch.machine import VoltaV100
+from repro.sampling.trace import generate_warp_trace
+from repro.sampling.workload import WorkloadSpec
+from repro.structure.program import build_program_structure
+from repro.workloads.apps import quicksilver
+from repro.workloads.rodinia import myocyte
+
+
+@pytest.fixture(scope="module")
+def toy_structure(toy_cubin):
+    return build_program_structure(toy_cubin)
+
+
+def trace_for(structure, workload, warp_id=0):
+    return generate_warp_trace(structure, "toy_kernel", workload, VoltaV100, warp_id, 16)
+
+
+def test_loop_trip_count_controls_iterations(toy_structure):
+    short = trace_for(toy_structure, WorkloadSpec(loop_trip_counts={12: 3}))
+    long = trace_for(toy_structure, WorkloadSpec(loop_trip_counts={12: 12}))
+    assert len(long) > len(short)
+    assert sum(1 for op in long if op.opcode == "LDG") == 12
+    assert sum(1 for op in short if op.opcode == "LDG") == 3
+
+
+def test_trace_is_deterministic(toy_structure):
+    workload = WorkloadSpec(loop_trip_counts={12: 5}, seed=3)
+    a = trace_for(toy_structure, workload)
+    b = trace_for(toy_structure, workload)
+    assert [op.offset for op in a] == [op.offset for op in b]
+
+
+def test_trace_ends_with_exit(toy_structure):
+    trace = trace_for(toy_structure, WorkloadSpec(loop_trip_counts={12: 2}))
+    assert trace[-1].opcode == "EXIT"
+
+
+def test_memory_ops_get_latency_and_transactions(toy_structure):
+    trace = trace_for(toy_structure, WorkloadSpec(loop_trip_counts={12: 2},
+                                                  uncoalesced_lines={13},
+                                                  uncoalesced_transactions=4))
+    loads = [op for op in trace if op.opcode == "LDG"]
+    assert all(op.latency > 100 for op in loads)
+    assert all(op.transactions == 4 for op in loads)
+    alu = [op for op in trace if op.opcode == "FFMA"]
+    assert all(op.latency == 0 and op.transactions == 0 for op in alu)
+
+
+def test_memory_latency_scale_applies(toy_structure):
+    base = trace_for(toy_structure, WorkloadSpec(loop_trip_counts={12: 2}, seed=1))
+    scaled = trace_for(toy_structure, WorkloadSpec(loop_trip_counts={12: 2}, seed=1,
+                                                   memory_latency_scale=2.0))
+    base_latency = [op.latency for op in base if op.opcode == "LDG"]
+    scaled_latency = [op.latency for op in scaled if op.opcode == "LDG"]
+    assert all(s > b for s, b in zip(scaled_latency, base_latency))
+
+
+def test_max_trace_ops_bounds_runaway_loops(toy_structure):
+    workload = WorkloadSpec(loop_trip_counts={12: 10_000_000}, max_trace_ops=500)
+    trace = trace_for(toy_structure, workload)
+    assert len(trace) == 500
+
+
+def test_calls_descend_into_device_functions():
+    setup = quicksilver.baseline()
+    structure = build_program_structure(setup.cubin)
+    trace = generate_warp_trace(structure, setup.kernel, setup.workload, VoltaV100, 0, 8)
+    functions = {op.function for op in trace}
+    assert "MC_Segment_Outcome" in functions
+    assert "MacroscopicCrossSection" in functions
+
+
+def test_fetch_stalls_charged_when_footprint_exceeds_icache():
+    setup = myocyte.baseline()
+    structure = build_program_structure(setup.cubin)
+    assert structure.function(setup.kernel).function.code_size > VoltaV100.instruction_cache_bytes
+    trace = generate_warp_trace(structure, setup.kernel, setup.workload, VoltaV100, 0, 8)
+    assert any(op.fetch_stall > 0 for op in trace)
+
+
+def test_no_fetch_stalls_for_small_kernels(toy_structure):
+    trace = trace_for(toy_structure, WorkloadSpec(loop_trip_counts={12: 4}))
+    assert all(op.fetch_stall == 0 for op in trace)

@@ -1,0 +1,46 @@
+"""Tests for workload specifications."""
+
+from repro.sampling.workload import WorkloadSpec
+
+
+def test_trip_count_defaults_and_overrides():
+    spec = WorkloadSpec(loop_trip_counts={10: 7}, default_trip_count=3)
+    assert spec.trip_count(10, warp_id=0, num_warps=4) == 7
+    assert spec.trip_count(99, warp_id=0, num_warps=4) == 3
+    assert spec.trip_count(None, warp_id=0, num_warps=4) == 3
+
+
+def test_callable_trip_counts_model_imbalance():
+    spec = WorkloadSpec(loop_trip_counts={10: lambda warp, total: 20 if warp == 0 else 2})
+    assert spec.trip_count(10, 0, 8) == 20
+    assert spec.trip_count(10, 3, 8) == 2
+
+
+def test_branch_probability_lookup():
+    spec = WorkloadSpec(branch_taken={30: 0.9}, default_branch_taken=0.25)
+    assert spec.branch_probability(30) == 0.9
+    assert spec.branch_probability(31) == 0.25
+
+
+def test_call_targets_and_transactions():
+    spec = WorkloadSpec(call_targets={5: "helper"}, uncoalesced_lines={7},
+                        uncoalesced_transactions=8)
+    assert spec.call_target(5) == "helper"
+    assert spec.call_target(6) is None
+    assert spec.transactions(7) == 8
+    assert spec.transactions(8) == 1
+
+
+def test_rng_is_deterministic_per_warp():
+    spec = WorkloadSpec(seed=11)
+    assert spec.rng_for_warp(3).random() == spec.rng_for_warp(3).random()
+    assert spec.rng_for_warp(3).random() != spec.rng_for_warp(4).random()
+
+
+def test_copy_overrides_without_mutating_original():
+    spec = WorkloadSpec(loop_trip_counts={10: 7})
+    copy = spec.copy(memory_latency_scale=2.0)
+    copy.loop_trip_counts[10] = 99
+    assert spec.loop_trip_counts[10] == 7
+    assert copy.memory_latency_scale == 2.0
+    assert spec.memory_latency_scale == 1.0

@@ -1,0 +1,47 @@
+"""Tests for program-structure recovery."""
+
+import json
+
+from repro.structure.program import build_program_structure
+
+
+def test_structure_contains_all_functions(toy_cubin):
+    structure = build_program_structure(toy_cubin)
+    assert set(structure.functions) == set(toy_cubin.functions)
+    assert [f.name for f in structure.kernels()] == ["toy_kernel"]
+
+
+def test_loop_recovered_with_header_line(toy_cubin):
+    structure = build_program_structure(toy_cubin)
+    function = structure.function("toy_kernel")
+    loops = function.loops()
+    assert len(loops) == 1
+    assert loops[0].header_line == 12
+
+
+def test_location_includes_line_and_loop(toy_cubin, toy_profiled):
+    structure = toy_profiled.structure
+    function = structure.function("toy_kernel")
+    load_offset = function.offsets_for_line(13)[0]
+    location = function.location(load_offset)
+    assert location.line == 13
+    assert location.loop_line == 12
+    assert "Line 13" in location.describe()
+    assert "Loop at Line 12" in location.describe()
+
+
+def test_offsets_for_line_and_lines(toy_cubin):
+    function = build_program_structure(toy_cubin).function("toy_kernel")
+    assert function.offsets_for_line(13)
+    assert function.lines() == sorted(function.lines())
+    assert 17 in function.lines()
+
+
+def test_structure_serialization_is_json(toy_cubin):
+    structure = build_program_structure(toy_cubin)
+    payload = json.loads(structure.to_json())
+    assert payload["arch_flag"] == "sm_70"
+    kernel = payload["functions"]["toy_kernel"]
+    assert kernel["visibility"] == "global"
+    assert kernel["loops"][0]["header_line"] == 12
+    assert kernel["instruction_count"] == len(toy_cubin.function("toy_kernel").instructions)
