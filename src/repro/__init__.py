@@ -13,6 +13,10 @@ The package is organised as the paper's Figure 2:
   dynamic analyzer: the instruction blamer, the Table 2 optimizers and the
   Equation 2-10 estimators;
 * :mod:`repro.advisor` — the GPA facade, report generator and CLI;
+* :mod:`repro.pipeline` — the staged advising pipeline: explicit
+  profile/analyze stages, the on-disk profile cache, the process-parallel
+  :class:`~repro.pipeline.batch.BatchAdvisor` and the plan/execute runner
+  that every sweep (CLI ``--all``, Table 3, Figure 7) drives;
 * :mod:`repro.workloads`, :mod:`repro.evaluation` — the synthetic Rodinia /
   application kernels and the harness that regenerates Table 3 and Figures
   1 and 7.
@@ -26,11 +30,22 @@ Quickstart::
     setup = case.build_baseline()
     report = GPA().advise(setup.cubin, setup.kernel, setup.config, setup.workload)
     print(GPA.render(report))
+
+Batch sweeps (with caching and process parallelism) go through
+:class:`~repro.pipeline.batch.BatchAdvisor`::
+
+    from repro.pipeline import BatchAdvisor, BatchConfig
+
+    advisor = BatchAdvisor(BatchConfig(jobs=4, cache_dir=".gpa-cache"))
+    results = advisor.advise()          # the whole Table 3 registry
 """
 
 from repro.advisor.advisor import GPA
 from repro.advisor.report import AdviceReport, render_report
 from repro.arch.machine import GpuArchitecture, VoltaV100, get_architecture
+from repro.pipeline.batch import BatchAdvisor, BatchConfig, BatchResult
+from repro.pipeline.cache import ProfileCache, profile_cache_key
+from repro.pipeline.stages import AnalyzeStage, ProfileRequest, ProfileStage
 from repro.blame.attribution import BlameResult, InstructionBlamer
 from repro.cubin.binary import Cubin, Function, FunctionVisibility
 from repro.cubin.builder import CubinBuilder, KernelBuilder
@@ -46,6 +61,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdviceReport",
+    "AnalyzeStage",
+    "BatchAdvisor",
+    "BatchConfig",
+    "BatchResult",
     "BlameResult",
     "Cubin",
     "CubinBuilder",
@@ -63,9 +82,13 @@ __all__ = [
     "Optimizer",
     "OptimizerCategory",
     "OptimizerRegistry",
+    "ProfileCache",
+    "ProfileRequest",
+    "ProfileStage",
     "ProfiledKernel",
     "Profiler",
     "ProgramStructure",
+    "profile_cache_key",
     "StallReason",
     "VoltaV100",
     "WorkloadSpec",

@@ -8,13 +8,18 @@ dynamic analyzer behind two entry points:
   "GPA is a command line tool that automates profiling and analysis stages");
 * :meth:`GPA.analyze` — analyze an existing profile + binary, for offline
   analysis of dumped profiles.
+
+Internally both entry points delegate to the staged pipeline
+(:mod:`repro.pipeline.stages`): ``advise`` is ``ProfileStage`` →
+``AnalyzeStage``, and passing ``cache`` (a directory path or a
+:class:`~repro.pipeline.cache.ProfileCache`) lets repeated launches replay
+their profiles from disk instead of re-simulating.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.advisor.dynamic_analyzer import DynamicAnalyzer
 from repro.advisor.report import AdviceReport, render_report
 from repro.advisor.static_analyzer import StaticAnalysis, StaticAnalyzer
 from repro.arch.machine import GpuArchitecture, VoltaV100
@@ -34,11 +39,23 @@ class GPA:
         architecture: Optional[GpuArchitecture] = None,
         optimizers: Optional[Iterable[Optimizer]] = None,
         sample_period: int = 32,
+        cache=None,
     ):
+        # Imported lazily: the stage modules import the analyzer pieces from
+        # this package, so a module-level import would be circular.
+        from repro.pipeline.stages import AnalyzeStage, ProfileStage
+
         self.architecture = architecture or VoltaV100
         self.profiler = Profiler(self.architecture, sample_period=sample_period)
+        self.profile_stage = ProfileStage(profiler=self.profiler, cache=cache)
+        self.analyze_stage = AnalyzeStage(self.architecture, optimizers)
         self.static_analyzer = StaticAnalyzer(self.architecture)
-        self.dynamic_analyzer = DynamicAnalyzer(self.architecture, optimizers)
+        self.dynamic_analyzer = self.analyze_stage.analyzer
+
+    @property
+    def cache(self):
+        """The profile cache the profiling stage consults (or ``None``)."""
+        return self.profile_stage.cache
 
     # ------------------------------------------------------------------
     def profile(
@@ -49,11 +66,17 @@ class GPA:
         workload: Optional[WorkloadSpec] = None,
     ) -> ProfiledKernel:
         """Run the profiling stage only."""
-        return self.profiler.profile(cubin, kernel_name, config, workload)
+        from repro.pipeline.stages import ProfileRequest
+
+        return self.profile_stage.run(
+            ProfileRequest(cubin=cubin, kernel=kernel_name, config=config, workload=workload)
+        )
 
     def analyze(self, profile: KernelProfile, structure: ProgramStructure) -> AdviceReport:
         """Run the dynamic analyzer on an existing profile."""
-        return self.dynamic_analyzer.analyze(profile, structure)
+        from repro.pipeline.stages import AnalyzeRequest
+
+        return self.analyze_stage.run(AnalyzeRequest(profile=profile, structure=structure))
 
     def analyze_binary(self, cubin: Cubin) -> StaticAnalysis:
         """Run the static analyzer only."""

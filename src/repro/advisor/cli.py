@@ -3,7 +3,7 @@
 The paper's GPA is a command-line tool that automates the profiling and
 analysis stages for a CUDA application.  Without a GPU, the CLI operates on
 the built-in synthetic workloads (or on a previously dumped profile + binary
-pair):
+pair), driving the staged pipeline of :mod:`repro.pipeline`:
 
 .. code-block:: console
 
@@ -15,6 +15,10 @@ pair):
 
    # Same, as JSON (for GUI ingestion).
    gpa-advise --case ExaTENSOR:strength_reduction --json
+
+   # Sweep the full case registry across 4 worker processes with an
+   # on-disk profile cache, on the Ampere machine model.
+   gpa-advise --all --jobs 4 --cache-dir .gpa-cache --arch sm_80
 
    # Analyze an offline profile dumped by the profiler.
    gpa-advise --profile profile.json --cubin module.json
@@ -28,12 +32,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.advisor.advisor import GPA
-from repro.advisor.report import render_report
+from repro.advisor.report import AdviceReport, render_report
+from repro.arch.machine import architecture_flags
 from repro.cubin.binary import Cubin
+from repro.pipeline.batch import BatchAdvisor, BatchConfig, advise_case_report
+from repro.pipeline.runner import ProgressEvent
 from repro.sampling.sample import KernelProfile
 from repro.structure.program import build_program_structure
-from repro.workloads.registry import all_cases, case_by_name, case_names
+from repro.workloads.registry import case_by_name, case_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +49,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--list", action="store_true", help="list the built-in benchmark cases")
     parser.add_argument("--case", help="benchmark case to profile and analyze (see --list)")
+    parser.add_argument("--all", action="store_true",
+                        help="sweep every benchmark case in the registry")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="with --all: only sweep the first N cases")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for --all sweeps (default 1)")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        help="directory of the on-disk profile cache; repeated "
+                             "runs replay profiles instead of re-simulating")
+    parser.add_argument("--arch", default="sm_70", choices=architecture_flags(),
+                        help="architecture model to profile on (default sm_70)")
     parser.add_argument("--optimized", action="store_true",
                         help="analyze the hand-optimized variant instead of the baseline")
     parser.add_argument("--profile", help="path to a dumped kernel profile (JSON)")
@@ -54,21 +71,98 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _report_for_case(args: argparse.Namespace) -> "AdviceReport":
-    case = case_by_name(args.case)
-    setup = case.build_optimized() if args.optimized else case.build_baseline()
-    gpa = GPA(sample_period=args.sample_period)
-    return gpa.advise(setup.cubin, setup.kernel, setup.config, setup.workload)
+def _batch_config(args: argparse.Namespace) -> BatchConfig:
+    """The one pipeline configuration both --case and --all run on."""
+    return BatchConfig(
+        arch_flag=args.arch,
+        sample_period=args.sample_period,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+    )
 
 
-def _report_for_profile(args: argparse.Namespace) -> "AdviceReport":
+def _report_for_case(args: argparse.Namespace) -> AdviceReport:
+    _, report = advise_case_report(_batch_config(args), args.case, args.optimized)
+    return report
+
+
+def _report_for_profile(args: argparse.Namespace) -> AdviceReport:
     if not args.cubin:
         raise SystemExit("--profile requires --cubin")
     profile = KernelProfile.from_json(Path(args.profile).read_text())
     cubin = Cubin.from_json(Path(args.cubin).read_text())
     structure = build_program_structure(cubin)
-    gpa = GPA(sample_period=args.sample_period)
+    gpa = _batch_config(args).build_gpa()
     return gpa.analyze(profile, structure)
+
+
+def _progress_printer(stream):
+    """A progress callback that logs one line per finished case."""
+
+    def on_event(event: ProgressEvent) -> None:
+        if event.status == "start":
+            return
+        status = "ok" if event.status == "done" else "FAILED"
+        print(
+            f"[{event.index + 1:3d}/{event.total}] {event.step:55s} "
+            f"{status} ({event.duration:.2f}s)",
+            file=stream,
+        )
+
+    return on_event
+
+
+def _sweep_all(args: argparse.Namespace) -> int:
+    """Run the full-registry sweep through :class:`BatchAdvisor`."""
+    ids = case_names()
+    if args.limit is not None:
+        ids = ids[: args.limit]
+    advisor = BatchAdvisor(_batch_config(args))
+    results = advisor.advise(
+        ids, optimized=args.optimized, progress=_progress_printer(sys.stderr)
+    )
+
+    failures = [result for result in results if not result.ok]
+    if args.json:
+        payload = [
+            {
+                "case": result.case_id,
+                "ok": result.ok,
+                "duration": result.duration,
+                "error": result.error,
+                **(result.value or {}),
+            }
+            for result in results
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        header = (
+            f"{'Case':55s} {'Kernel':28s} {'Top advice':35s} "
+            f"{'Speedup':>8s} {'Time':>7s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for result in results:
+            if not result.ok:
+                last_line = result.error.strip().splitlines()[-1]
+                print(f"{result.case_id:55s} FAILED: {last_line}")
+                continue
+            advice = [
+                item for item in result.value["report"]["advice"] if item["applicable"]
+            ]
+            top_name = advice[0]["optimizer"] if advice else "-"
+            top_speedup = advice[0]["estimated_speedup"] if advice else 1.0
+            print(
+                f"{result.case_id:55s} {result.value['kernel']:28s} {top_name:35s} "
+                f"{top_speedup:7.2f}x {result.duration:6.2f}s"
+            )
+        print(
+            f"\n{len(results) - len(failures)}/{len(results)} cases ok "
+            f"on {args.arch} ({args.jobs} job{'s' if args.jobs != 1 else ''})"
+        )
+        for result in failures:
+            print(f"\n{result.case_id} failed:\n{result.error}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -81,6 +175,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             case = case_by_name(name)
             print(f"{name:55s} kernel={case.kernel:30s} optimizer={case.optimizer_name}")
         return 0
+
+    if args.all:
+        return _sweep_all(args)
 
     if args.case:
         report = _report_for_case(args)

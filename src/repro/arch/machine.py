@@ -177,6 +177,52 @@ KeplerLike = GpuArchitecture(
 )
 
 
+#: A Turing-class model (sm_75).  Turing halves the warp slots per SM (32
+#: instead of Volta's 64) and has less shared memory, so occupancy-limited
+#: launches diverge sharply from the V100 in multi-architecture sweeps.
+TuringLike = GpuArchitecture(
+    name="Turing T4",
+    arch_flag="sm_75",
+    num_sms=40,
+    schedulers_per_sm=4,
+    warp_size=32,
+    max_warps_per_sm=32,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_allocation_unit=256,
+    shared_memory_per_sm=64 * 1024,
+    shared_memory_allocation_unit=256,
+    instruction_cache_bytes=16 * 1024,
+    max_outstanding_memory_requests=48,
+    clock_mhz=1590,
+    latency_overrides={"LDG": 420, "LDS": 22},
+)
+
+#: An Ampere-class model (sm_80).  The A100 raises the SM count, shared
+#: memory capacity and memory-level parallelism well beyond the V100.
+AmpereLike = GpuArchitecture(
+    name="Ampere A100",
+    arch_flag="sm_80",
+    num_sms=108,
+    schedulers_per_sm=4,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_allocation_unit=256,
+    shared_memory_per_sm=164 * 1024,
+    shared_memory_allocation_unit=256,
+    instruction_cache_bytes=32 * 1024,
+    max_outstanding_memory_requests=96,
+    clock_mhz=1410,
+    latency_overrides={"LDG": 360, "LDS": 22, "BAR": 20},
+)
+
+
 _REGISTRY: Dict[str, GpuArchitecture] = {}
 
 
@@ -198,5 +244,10 @@ def get_architecture(arch_flag: str) -> GpuArchitecture:
         ) from exc
 
 
-for _arch in (VoltaV100, PascalLike, KeplerLike):
+def architecture_flags() -> list:
+    """The registered CUBIN architecture flags, sorted (for CLI choices)."""
+    return sorted(_REGISTRY)
+
+
+for _arch in (VoltaV100, PascalLike, KeplerLike, TuringLike, AmpereLike):
     register_architecture(_arch)

@@ -11,10 +11,11 @@ estimate of the kernel stall ratio described in Section 2.1.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.advisor.advisor import GPA
+from repro.arch.machine import get_architecture
 from repro.cubin.builder import CubinBuilder, imm, p
+from repro.pipeline.stages import ProfileRequest, ProfileStage, retarget
 from repro.sampling.sample import LaunchConfig
 from repro.sampling.workload import WorkloadSpec
 
@@ -48,15 +49,29 @@ def _toy_kernel() -> CubinBuilder:
     return builder
 
 
-def sampling_model_demo(sample_period: int = 8) -> Dict[str, object]:
-    """Run the Figure 1 demonstration and return its sample statistics."""
+def sampling_model_demo(
+    sample_period: int = 8,
+    arch_flag: str = "sm_70",
+    cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the Figure 1 demonstration and return its sample statistics.
+
+    The demo runs the profiling stage alone — the analyzer is not involved —
+    so it exercises :class:`~repro.pipeline.stages.ProfileStage` directly.
+    """
     builder = _toy_kernel()
-    gpa = GPA(sample_period=sample_period)
-    profiled = gpa.profile(
-        builder.build(),
-        "mixed_kernel",
-        LaunchConfig(grid_blocks=320, threads_per_block=128),
-        WorkloadSpec(loop_trip_counts={5: 12}),
+    stage = ProfileStage(
+        architecture=get_architecture(arch_flag),
+        sample_period=sample_period,
+        cache=cache_dir,
+    )
+    profiled = stage.run(
+        ProfileRequest(
+            cubin=retarget(builder.build(), arch_flag),
+            kernel="mixed_kernel",
+            config=LaunchConfig(grid_blocks=320, threads_per_block=128),
+            workload=WorkloadSpec(loop_trip_counts={5: 12}),
+        )
     )
     profile = profiled.profile
     return {

@@ -13,11 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.advisor.advisor import GPA
-from repro.arch.machine import VoltaV100
 from repro.blame.coverage import single_dependency_coverage
 from repro.blame.graph import build_dependency_graph
 from repro.blame.pruning import prune_cold_edges
+from repro.pipeline.batch import BatchAdvisor, BatchConfig, resolve_case
+from repro.pipeline.runner import ProgressCallback
+from repro.pipeline.stages import retarget
 from repro.workloads.base import BenchmarkCase
 from repro.workloads.registry import rodinia_cases
 
@@ -35,38 +36,66 @@ class CoverageRow:
     nodes: int
 
 
+def coverage_case_worker(config: BatchConfig, case_or_id) -> CoverageRow:
+    """Batch worker: the coverage row of one benchmark's baseline kernel."""
+    case = resolve_case(case_or_id)
+    gpa = config.build_gpa()
+    setup = case.build_baseline()
+    cubin = retarget(setup.cubin, config.arch_flag)
+    profiled = gpa.profile(cubin, setup.kernel, setup.config, setup.workload)
+    graph = build_dependency_graph(profiled.profile, profiled.structure)
+    before = single_dependency_coverage(graph)
+    edges_before = len(graph.edges)
+    pruned = graph.copy()
+    prune_cold_edges(pruned, profiled.structure, config.architecture)
+    after = single_dependency_coverage(pruned)
+    return CoverageRow(
+        benchmark=case.name,
+        kernel=case.kernel,
+        coverage_before=before,
+        coverage_after=after,
+        edges_before=edges_before,
+        edges_after=len(pruned.edges),
+        nodes=len(graph.stalled_nodes()),
+    )
+
+
 def evaluate_figure7(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     sample_period: int = 8,
+    jobs: int = 1,
+    arch_flag: str = "sm_70",
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[CoverageRow]:
-    """Compute coverage rows for every (unique) benchmark."""
-    gpa = GPA(sample_period=sample_period)
-    rows: List[CoverageRow] = []
+    """Compute coverage rows for every (unique) benchmark.
+
+    Runs through the batch pipeline: ``jobs`` fans benchmarks out across
+    processes and ``cache_dir`` replays already-simulated baseline profiles.
+    """
+    unique: List[BenchmarkCase] = []
     seen = set()
     for case in cases if cases is not None else rodinia_cases():
         if case.name in seen:
             continue
         seen.add(case.name)
-        setup = case.build_baseline()
-        profiled = gpa.profile(setup.cubin, setup.kernel, setup.config, setup.workload)
-        graph = build_dependency_graph(profiled.profile, profiled.structure)
-        before = single_dependency_coverage(graph)
-        edges_before = len(graph.edges)
-        pruned = graph.copy()
-        prune_cold_edges(pruned, profiled.structure, VoltaV100)
-        after = single_dependency_coverage(pruned)
-        rows.append(
-            CoverageRow(
-                benchmark=case.name,
-                kernel=case.kernel,
-                coverage_before=before,
-                coverage_after=after,
-                edges_before=edges_before,
-                edges_after=len(pruned.edges),
-                nodes=len(graph.stalled_nodes()),
-            )
+        unique.append(case)
+
+    advisor = BatchAdvisor(
+        BatchConfig(
+            arch_flag=arch_flag,
+            sample_period=sample_period,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            jobs=jobs,
         )
-    return rows
+    )
+    results = advisor.run_cases(coverage_case_worker, unique, progress=progress)
+    failed = [result for result in results if not result.ok]
+    if failed:
+        raise RuntimeError(
+            f"figure 7 sweep failed for {failed[0].case_id}:\n{failed[0].error}"
+        )
+    return [result.value for result in results]
 
 
 def format_figure7(rows: Sequence[CoverageRow]) -> str:

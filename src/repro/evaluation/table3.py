@@ -18,10 +18,12 @@ speedups and their ordering are meaningful for comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.advisor.advisor import GPA
-from repro.evaluation.metrics import geometric_mean, relative_error
+from repro.evaluation.metrics import geometric_mean
+from repro.pipeline.batch import BatchAdvisor, BatchConfig, evaluate_case_outcome
+from repro.pipeline.runner import ProgressCallback
 from repro.workloads.base import BenchmarkCase
 from repro.workloads.registry import all_cases
 
@@ -54,6 +56,9 @@ class Table3Result:
     """All rows plus the aggregate statistics the paper reports."""
 
     rows: List[Table3Row] = field(default_factory=list)
+    #: Cases that failed during a batch sweep, as (case_id, traceback) pairs;
+    #: one bad case never kills the whole table.
+    failures: List[Tuple[str, str]] = field(default_factory=list)
 
     @property
     def geomean_achieved(self) -> float:
@@ -74,6 +79,20 @@ class Table3Result:
         return sum(row.error for row in self.rows) / len(self.rows)
 
 
+def _row_from_outcome(case: BenchmarkCase, outcome: dict) -> Table3Row:
+    """Build a :class:`Table3Row` from a batch-worker outcome dict."""
+    return Table3Row(
+        case=case,
+        baseline_cycles=outcome["baseline_cycles"],
+        optimized_cycles=outcome["optimized_cycles"],
+        achieved_speedup=outcome["achieved_speedup"],
+        estimated_speedup=outcome["estimated_speedup"],
+        error=outcome["error"],
+        optimizer_rank=outcome["optimizer_rank"],
+        total_samples=outcome["total_samples"],
+    )
+
+
 def evaluate_case(
     case: BenchmarkCase,
     gpa: Optional[GPA] = None,
@@ -81,52 +100,40 @@ def evaluate_case(
 ) -> Table3Row:
     """Evaluate one Table 3 row (profile baseline, advise, profile optimized)."""
     gpa = gpa or GPA(sample_period=sample_period)
-
-    baseline = case.build_baseline()
-    profiled_baseline = gpa.profile(
-        baseline.cubin, baseline.kernel, baseline.config, baseline.workload
-    )
-    report = gpa.advise_profiled(profiled_baseline)
-
-    optimized = case.build_optimized()
-    profiled_optimized = gpa.profile(
-        optimized.cubin, optimized.kernel, optimized.config, optimized.workload
-    )
-
-    baseline_cycles = profiled_baseline.kernel_cycles
-    optimized_cycles = profiled_optimized.kernel_cycles
-    achieved = baseline_cycles / optimized_cycles if optimized_cycles else 1.0
-
-    advice = report.advice_for(case.optimizer_name)
-    estimated = advice.estimated_speedup if advice is not None else 1.0
-    applicable = [item.optimizer for item in report.advice if item.applicable]
-    rank = (
-        applicable.index(case.optimizer_name) + 1
-        if case.optimizer_name in applicable
-        else None
-    )
-
-    return Table3Row(
-        case=case,
-        baseline_cycles=baseline_cycles,
-        optimized_cycles=optimized_cycles,
-        achieved_speedup=achieved,
-        estimated_speedup=estimated,
-        error=relative_error(estimated, achieved),
-        optimizer_rank=rank,
-        total_samples=profiled_baseline.profile.total_samples,
-    )
+    return _row_from_outcome(case, evaluate_case_outcome(case, gpa))
 
 
 def evaluate_table3(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     sample_period: int = 8,
+    jobs: int = 1,
+    arch_flag: str = "sm_70",
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Table3Result:
-    """Evaluate every Table 3 row (or the supplied subset)."""
-    gpa = GPA(sample_period=sample_period)
+    """Evaluate every Table 3 row (or the supplied subset).
+
+    Each case's baseline + optimized profiles are pipeline jobs: ``jobs > 1``
+    fans registry cases across worker processes, ``cache_dir`` replays
+    previously simulated profiles from disk, and ``arch_flag`` retargets the
+    sweep onto any registered architecture.  Per-case failures land in
+    :attr:`Table3Result.failures` instead of aborting the sweep.
+    """
+    case_list = list(cases) if cases is not None else all_cases()
+    advisor = BatchAdvisor(
+        BatchConfig(
+            arch_flag=arch_flag,
+            sample_period=sample_period,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            jobs=jobs,
+        )
+    )
     result = Table3Result()
-    for case in cases if cases is not None else all_cases():
-        result.rows.append(evaluate_case(case, gpa=gpa))
+    for case, outcome in zip(case_list, advisor.evaluate_table3(case_list, progress=progress)):
+        if outcome.ok:
+            result.rows.append(_row_from_outcome(case, outcome.value))
+        else:
+            result.failures.append((outcome.case_id, outcome.error))
     return result
 
 

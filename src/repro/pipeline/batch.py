@@ -1,0 +1,324 @@
+"""Process-parallel batch sweeps over benchmark cases.
+
+The paper's evaluation runs 17 benchmark/optimizer pairs, each profiled
+twice; the seed code swept them in a sequential Python loop.
+:class:`BatchAdvisor` fans a list of cases out across
+:class:`~concurrent.futures.ProcessPoolExecutor` workers with
+
+* **deterministic ordering** — results come back in submission order no
+  matter which worker finishes first, so a parallel sweep is row-for-row
+  identical to a sequential one;
+* **per-case error capture** — a failing case records its traceback in its
+  :class:`BatchResult` instead of killing the sweep;
+* **registry-based job descriptions** — cases cross the process boundary as
+  their registry ``case_id`` (setups hold lambdas and are not picklable);
+  case objects that are not in the registry automatically fall back to the
+  inline sequential path.
+
+Workers rebuild their own :class:`~repro.advisor.advisor.GPA` from a
+:class:`BatchConfig` of primitives (architecture flag, sample period, cache
+directory), so every process shares the on-disk profile cache.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.arch.machine import GpuArchitecture, get_architecture
+from repro.pipeline.runner import (
+    PipelineRunner,
+    PipelineStep,
+    ProgressCallback,
+    ProgressEvent,
+)
+from repro.pipeline.stages import retarget
+from repro.workloads.base import BenchmarkCase
+from repro.workloads.registry import case_by_name, case_names
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Everything a worker process needs to rebuild the advising pipeline."""
+
+    arch_flag: str = "sm_70"
+    sample_period: int = 8
+    cache_dir: Optional[str] = None
+    jobs: int = 1
+
+    @property
+    def architecture(self) -> GpuArchitecture:
+        return get_architecture(self.arch_flag)
+
+    def build_gpa(self):
+        from repro.advisor.advisor import GPA
+
+        return GPA(
+            architecture=self.architecture,
+            sample_period=self.sample_period,
+            cache=self.cache_dir,
+        )
+
+
+@dataclass
+class BatchResult:
+    """The outcome of one case in a sweep: a value or a captured traceback."""
+
+    index: int
+    case_id: str
+    value: Any = None
+    error: Optional[str] = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+#: Worker signature: ``worker(config, case_or_id) -> picklable value``.
+CaseWorker = Callable[[BatchConfig, Union[str, BenchmarkCase]], Any]
+
+
+def resolve_case(case_or_id: Union[str, BenchmarkCase]) -> BenchmarkCase:
+    """Accept a registry ``case_id`` or a :class:`BenchmarkCase` object."""
+    if isinstance(case_or_id, str):
+        return case_by_name(case_or_id)
+    return case_or_id
+
+
+def _is_registry_case(case: BenchmarkCase) -> bool:
+    try:
+        return case_by_name(case.case_id) is case
+    except KeyError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Shared case computations (used by the sequential harnesses too, so the
+# parallel and sequential paths cannot drift apart)
+# ----------------------------------------------------------------------
+def evaluate_case_outcome(
+    case: BenchmarkCase, gpa, arch_flag: Optional[str] = None
+) -> dict:
+    """The Table 3 computation for one case, as a picklable plain dict.
+
+    Profiles the baseline, runs the analyzer on it, profiles the
+    hand-optimized variant, and derives the achieved/estimated speedups,
+    the estimate error and the matched optimizer's rank.
+    """
+    # Imported here: the evaluation package's __init__ pulls in the table3
+    # harness, which itself builds on this module.
+    from repro.evaluation.metrics import relative_error
+
+    baseline = case.build_baseline()
+    optimized = case.build_optimized()
+    baseline_cubin = retarget(baseline.cubin, arch_flag) if arch_flag else baseline.cubin
+    optimized_cubin = (
+        retarget(optimized.cubin, arch_flag) if arch_flag else optimized.cubin
+    )
+
+    profiled_baseline = gpa.profile(
+        baseline_cubin, baseline.kernel, baseline.config, baseline.workload
+    )
+    report = gpa.advise_profiled(profiled_baseline)
+    profiled_optimized = gpa.profile(
+        optimized_cubin, optimized.kernel, optimized.config, optimized.workload
+    )
+
+    baseline_cycles = profiled_baseline.kernel_cycles
+    optimized_cycles = profiled_optimized.kernel_cycles
+    achieved = baseline_cycles / optimized_cycles if optimized_cycles else 1.0
+
+    advice = report.advice_for(case.optimizer_name)
+    estimated = advice.estimated_speedup if advice is not None else 1.0
+    applicable = [item.optimizer for item in report.advice if item.applicable]
+    rank = (
+        applicable.index(case.optimizer_name) + 1
+        if case.optimizer_name in applicable
+        else None
+    )
+
+    return {
+        "case_id": case.case_id,
+        "baseline_cycles": baseline_cycles,
+        "optimized_cycles": optimized_cycles,
+        "achieved_speedup": achieved,
+        "estimated_speedup": estimated,
+        "error": relative_error(estimated, achieved),
+        "optimizer_rank": rank,
+        "total_samples": profiled_baseline.profile.total_samples,
+    }
+
+
+def advise_case_report(config: BatchConfig, case_or_id, optimized: bool = False):
+    """Profile + analyze one case variant; returns (case, report).
+
+    The one resolve → retarget → advise sequence shared by the batch
+    workers and the CLI's single-case path.
+    """
+    case = resolve_case(case_or_id)
+    setup = case.build_optimized() if optimized else case.build_baseline()
+    cubin = retarget(setup.cubin, config.arch_flag)
+    gpa = config.build_gpa()
+    return case, gpa.advise(cubin, setup.kernel, setup.config, setup.workload)
+
+
+def advise_case(config: BatchConfig, payload) -> dict:
+    """Worker: profile + analyze one case variant, returning the report dict."""
+    case_or_id, optimized = payload
+    case, report = advise_case_report(config, case_or_id, optimized)
+    return {
+        "case": case.case_id,
+        "kernel": report.kernel,
+        "variant": "optimized" if optimized else "baseline",
+        "arch": config.arch_flag,
+        "report": report.to_dict(),
+    }
+
+
+def table3_case_worker(config: BatchConfig, case_or_id) -> dict:
+    """Worker: one Table 3 row outcome."""
+    case = resolve_case(case_or_id)
+    gpa = config.build_gpa()
+    return evaluate_case_outcome(case, gpa, arch_flag=config.arch_flag)
+
+
+def _pool_call(worker: CaseWorker, config: BatchConfig, payload):
+    """Run one job in a worker process, capturing its traceback."""
+    started = time.perf_counter()
+    try:
+        value = worker(config, payload)
+    except Exception:
+        return None, traceback.format_exc(), time.perf_counter() - started
+    return value, None, time.perf_counter() - started
+
+
+class BatchAdvisor:
+    """Sweeps benchmark cases through the pipeline, optionally in parallel."""
+
+    def __init__(self, config: Optional[BatchConfig] = None, **overrides):
+        if config is None:
+            config = BatchConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Generic fan-out
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        worker: CaseWorker,
+        payloads: Sequence[Any],
+        labels: Optional[Sequence[str]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[BatchResult]:
+        """Run ``worker(config, payload)`` for every payload.
+
+        ``worker`` must be a module-level function and the payloads picklable
+        when ``config.jobs > 1``.  Results preserve payload order.
+        """
+        payloads = list(payloads)
+        labels = list(labels) if labels is not None else [str(p) for p in payloads]
+        if self.config.jobs > 1 and len(payloads) > 1:
+            return self._run_pool(worker, payloads, labels, progress)
+        return self._run_inline(worker, payloads, labels, progress)
+
+    def run_cases(
+        self,
+        worker: CaseWorker,
+        cases: Sequence[BenchmarkCase],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[BatchResult]:
+        """Fan case objects out to ``worker``, in parallel when safe.
+
+        Cases cross process boundaries by ``case_id``; any case not backed by
+        the registry forces the inline path (its builders hold closures that
+        cannot be pickled).
+        """
+        cases = list(cases)
+        labels = [case.case_id for case in cases]
+        parallel_ok = (
+            self.config.jobs > 1
+            and len(cases) > 1
+            and all(_is_registry_case(case) for case in cases)
+        )
+        if parallel_ok:
+            return self._run_pool(worker, labels, labels, progress)
+        return self._run_inline(worker, cases, labels, progress)
+
+    # ------------------------------------------------------------------
+    # High-level sweeps
+    # ------------------------------------------------------------------
+    def advise(
+        self,
+        case_ids: Optional[Sequence[str]] = None,
+        optimized: bool = False,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[BatchResult]:
+        """Advise every named case (default: the full registry)."""
+        ids = list(case_ids) if case_ids is not None else case_names()
+        payloads = [(case_id, optimized) for case_id in ids]
+        return self.run(advise_case, payloads, labels=ids, progress=progress)
+
+    def evaluate_table3(
+        self,
+        cases: Sequence[BenchmarkCase],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[BatchResult]:
+        """Table 3 outcomes (plain dicts) for ``cases``, in order."""
+        return self.run_cases(table3_case_worker, cases, progress=progress)
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, worker, payloads, labels, progress) -> List[BatchResult]:
+        plan = [
+            PipelineStep(label, functools.partial(worker, self.config, payload))
+            for label, payload in zip(labels, payloads)
+        ]
+        outcomes = PipelineRunner(progress).execute(plan)
+        return [
+            BatchResult(
+                index=index,
+                case_id=outcome.name,
+                value=outcome.value,
+                error=outcome.error,
+                duration=outcome.duration,
+            )
+            for index, outcome in enumerate(outcomes)
+        ]
+
+    def _run_pool(self, worker, payloads, labels, progress) -> List[BatchResult]:
+        total = len(payloads)
+        results: List[Optional[BatchResult]] = [None] * total
+        workers = min(self.config.jobs, total)
+        emit = progress if progress is not None else (lambda event: None)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for index, payload in enumerate(payloads):
+                emit(ProgressEvent(labels[index], index, total, "start"))
+                future = pool.submit(_pool_call, worker, self.config, payload)
+                futures[future] = index
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    value, error, duration = future.result()
+                except Exception:
+                    # Pool-level failure (e.g. the payload could not be
+                    # pickled or the worker process died).
+                    value, error, duration = None, traceback.format_exc(), 0.0
+                results[index] = BatchResult(
+                    index=index,
+                    case_id=labels[index],
+                    value=value,
+                    error=error,
+                    duration=duration,
+                )
+                status = "done" if error is None else "error"
+                emit(
+                    ProgressEvent(labels[index], index, total, status, duration, error)
+                )
+        return [result for result in results if result is not None]

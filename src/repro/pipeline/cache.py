@@ -1,0 +1,210 @@
+"""On-disk profile cache.
+
+Profiling is by far the expensive half of the pipeline (the simulator walks
+per-warp traces cycle by cycle), yet every harness re-simulates launches it
+has seen before: Table 3 profiles each case twice, Figure 7 profiles the same
+baselines again, and a second run of either starts from zero.  The cache
+stores each :class:`~repro.sampling.sample.KernelProfile` as JSON under a key
+that digests *everything the simulation depends on*:
+
+* the binary (encoded code sections, line tables, inline info, resources),
+* the kernel symbol and the launch configuration,
+* the workload specification — including callable trip counts, which are
+  digested through their code objects so two different lambdas never share
+  a key,
+* the architecture model (all hardware limits and latency overrides), and
+* the PC sampling period.
+
+Changing any of these misses; repeating a run hits and skips the simulator.
+Writes go through a temporary file and :func:`os.replace` so concurrent
+worker processes never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+import types
+from dataclasses import fields
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.arch.machine import GpuArchitecture
+from repro.cubin.binary import Cubin
+from repro.sampling.sample import KernelProfile, LaunchConfig
+from repro.sampling.workload import WorkloadSpec
+
+#: Bump when the digest scheme or the profile JSON schema changes shape.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Stable value descriptions (the digest input)
+# ----------------------------------------------------------------------
+def _describe(value) -> str:
+    """A deterministic, recursive textual description of ``value``.
+
+    Callables (workload trip counts may be lambdas) are described by
+    everything their behaviour depends on — bytecode, constants (including
+    nested code objects), closure values and argument defaults — so
+    behaviourally different callables digest differently while reloading
+    the same module digests identically.  ``repr`` is never used on objects
+    whose repr embeds a memory address, which would break cache hits across
+    interpreter runs.
+    """
+    if isinstance(value, types.CodeType):
+        consts = ",".join(_describe(const) for const in value.co_consts)
+        return f"code:{value.co_name}:{value.co_code.hex()}:[{consts}]"
+    if isinstance(value, functools.partial):
+        return (
+            f"partial:{_describe(value.func)}"
+            f":{_describe(tuple(value.args))}:{_describe(dict(value.keywords))}"
+        )
+    if callable(value):
+        code = getattr(value, "__code__", None)
+        if code is None:
+            return f"callable:{value!r}"
+        closure = getattr(value, "__closure__", None) or ()
+        cells = ",".join(_describe(cell.cell_contents) for cell in closure)
+        defaults = _describe(tuple(getattr(value, "__defaults__", None) or ()))
+        kwdefaults = _describe(dict(getattr(value, "__kwdefaults__", None) or {}))
+        return (
+            f"callable:{getattr(value, '__qualname__', '?')}"
+            f":{_describe(code)}:[{cells}]:{defaults}:{kwdefaults}"
+        )
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{_describe(key)}={_describe(value[key])}"
+            for key in sorted(value, key=repr)
+        )
+        return "{" + items + "}"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_describe(item) for item in value)) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_describe(item) for item in value) + "]"
+    return repr(value)
+
+
+def _describe_workload(workload: WorkloadSpec) -> str:
+    parts = [
+        f"{field.name}={_describe(getattr(workload, field.name))}"
+        for field in sorted(fields(workload), key=lambda field: field.name)
+    ]
+    return "workload(" + ";".join(parts) + ")"
+
+
+def _describe_architecture(architecture: GpuArchitecture) -> str:
+    parts = [
+        f"{field.name}={_describe(getattr(architecture, field.name))}"
+        for field in sorted(fields(architecture), key=lambda field: field.name)
+    ]
+    return "arch(" + ";".join(parts) + ")"
+
+
+def profile_cache_key(
+    cubin: Cubin,
+    kernel_name: str,
+    config: LaunchConfig,
+    workload: WorkloadSpec,
+    architecture: GpuArchitecture,
+    sample_period: int,
+) -> str:
+    """The cache key of one simulated kernel launch."""
+    hasher = hashlib.sha256()
+    for token in (
+        f"v{CACHE_SCHEMA_VERSION}",
+        json.dumps(cubin.to_dict(), sort_keys=True),
+        kernel_name,
+        f"grid={config.grid_blocks};tpb={config.threads_per_block};"
+        f"smem={config.shared_memory_bytes}",
+        _describe_workload(workload),
+        _describe_architecture(architecture),
+        f"period={sample_period}",
+    ):
+        hasher.update(token.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+class ProfileCache:
+    """A directory of cached kernel profiles, one JSON file per key."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.profile.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> Optional[KernelProfile]:
+        """The cached profile for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            profile = KernelProfile.from_json(text)
+        except (ValueError, KeyError):
+            # A torn or stale entry: treat as a miss and let the writer
+            # replace it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return profile
+
+    def put(self, key: str, profile: KernelProfile) -> Path:
+        """Store ``profile`` under ``key`` (atomic, last writer wins)."""
+        path = self.path_for(key)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(profile.to_json())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.profile.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.profile.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProfileCache({str(self.directory)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def coerce_cache(cache: Union[None, str, Path, ProfileCache]) -> Optional[ProfileCache]:
+    """Accept a cache instance or a directory path (or ``None``)."""
+    if cache is None or isinstance(cache, ProfileCache):
+        return cache
+    return ProfileCache(cache)

@@ -1,0 +1,92 @@
+"""A small plan/execute driver with progress callbacks.
+
+The sequential paths of the pipeline (single-process batch sweeps, the CLI
+without ``--jobs``) all need the same bookkeeping: run named steps in order,
+time each one, capture per-step failures without aborting the plan, and tell
+an observer what is happening.  :class:`PipelineRunner` centralises that so
+:class:`~repro.pipeline.batch.BatchAdvisor` and the harnesses emit identical
+progress events whether work runs inline or in a process pool.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One observation of pipeline progress."""
+
+    step: str
+    index: int
+    total: int
+    #: ``"start"``, ``"done"`` or ``"error"``.
+    status: str
+    duration: float = 0.0
+    error: Optional[str] = None
+
+
+#: Observer signature: called synchronously; exceptions are the caller's.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """One named unit of work in a plan."""
+
+    name: str
+    action: Callable[[], Any]
+
+
+@dataclass
+class StepOutcome:
+    """What happened to one step: its value or its captured traceback."""
+
+    name: str
+    value: Any = None
+    error: Optional[str] = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class PipelineRunner:
+    """Executes a plan of steps in order, capturing failures per step."""
+
+    def __init__(self, progress: Optional[ProgressCallback] = None):
+        self.progress = progress
+
+    def _emit(self, event: ProgressEvent) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    def execute(self, plan: Sequence[PipelineStep]) -> List[StepOutcome]:
+        """Run every step; a failing step never aborts the rest of the plan."""
+        total = len(plan)
+        outcomes: List[StepOutcome] = []
+        for index, step in enumerate(plan):
+            self._emit(ProgressEvent(step.name, index, total, "start"))
+            started = time.perf_counter()
+            try:
+                value = step.action()
+            except Exception:
+                duration = time.perf_counter() - started
+                error = traceback.format_exc()
+                outcomes.append(
+                    StepOutcome(name=step.name, error=error, duration=duration)
+                )
+                self._emit(
+                    ProgressEvent(step.name, index, total, "error", duration, error)
+                )
+            else:
+                duration = time.perf_counter() - started
+                outcomes.append(
+                    StepOutcome(name=step.name, value=value, duration=duration)
+                )
+                self._emit(ProgressEvent(step.name, index, total, "done", duration))
+        return outcomes

@@ -1,0 +1,170 @@
+"""The profile → analyze stage decomposition.
+
+``GPA.advise`` is a two-stage pipeline; these classes make the stages
+explicit, typed units:
+
+* :class:`ProfileStage` turns a :class:`ProfileRequest` (binary, kernel,
+  launch config, workload) into a
+  :class:`~repro.sampling.profiler.ProfiledKernel`, consulting an optional
+  :class:`~repro.pipeline.cache.ProfileCache` first — a hit rebuilds the
+  program structure from the binary and recomputes occupancy (both cheap
+  and deterministic) without invoking the simulator at all;
+* :class:`AnalyzeStage` turns an :class:`AnalyzeRequest` (profile +
+  structure) into an :class:`~repro.advisor.report.AdviceReport`.
+
+The stages carry no per-run state, so one instance can serve a whole sweep,
+and each stage can be run on its own (offline analysis of dumped profiles is
+just :class:`AnalyzeStage` without :class:`ProfileStage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Union
+
+from repro.advisor.dynamic_analyzer import DynamicAnalyzer
+from repro.advisor.report import AdviceReport
+from repro.arch.machine import GpuArchitecture, get_architecture
+from repro.cubin.binary import Cubin
+from repro.optimizers.base import Optimizer
+from repro.pipeline.cache import ProfileCache, coerce_cache, profile_cache_key
+from repro.sampling.profiler import ProfiledKernel, Profiler
+from repro.sampling.sample import KernelProfile, LaunchConfig
+from repro.sampling.workload import WorkloadSpec
+from repro.structure.program import ProgramStructure, build_program_structure
+
+
+@dataclass(frozen=True)
+class ProfileRequest:
+    """Typed input of :class:`ProfileStage`: one kernel launch to profile."""
+
+    cubin: Cubin
+    kernel: str
+    config: LaunchConfig
+    workload: Optional[WorkloadSpec] = None
+
+    @classmethod
+    def from_setup(cls, setup) -> "ProfileRequest":
+        """Build a request from a :class:`~repro.workloads.base.KernelSetup`."""
+        return cls(
+            cubin=setup.cubin,
+            kernel=setup.kernel,
+            config=setup.config,
+            workload=setup.workload,
+        )
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """Typed input of :class:`AnalyzeStage`: a profile and its structure."""
+
+    profile: KernelProfile
+    structure: ProgramStructure
+
+
+def retarget(cubin: Cubin, arch_flag: str) -> Cubin:
+    """``cubin`` re-labelled for ``arch_flag`` ("recompile" for another GPU).
+
+    The simulator picks its machine model from the binary's architecture
+    flag, so sweeping the same synthetic kernels on a different registered
+    architecture is just a flag rewrite (functions are shared, not copied).
+    Raises :class:`~repro.arch.machine.ArchitectureError` for unknown flags.
+    """
+    if cubin.arch_flag == arch_flag:
+        return cubin
+    get_architecture(arch_flag)
+    return replace(cubin, arch_flag=arch_flag, functions=dict(cubin.functions))
+
+
+class ProfileStage:
+    """The profiling stage: simulate a launch, or replay it from the cache."""
+
+    name = "profile"
+
+    def __init__(
+        self,
+        architecture: Optional[GpuArchitecture] = None,
+        sample_period: int = 32,
+        cache: Union[None, str, ProfileCache] = None,
+        profiler: Optional[Profiler] = None,
+    ):
+        self.profiler = profiler or Profiler(architecture, sample_period=sample_period)
+        self.cache = coerce_cache(cache)
+
+    @property
+    def architecture(self) -> GpuArchitecture:
+        return self.profiler.architecture
+
+    @property
+    def sample_period(self) -> int:
+        return self.profiler.sample_period
+
+    # ------------------------------------------------------------------
+    def cache_key(self, request: ProfileRequest) -> str:
+        """The cache key this stage uses for ``request``."""
+        return profile_cache_key(
+            request.cubin,
+            request.kernel,
+            request.config,
+            request.workload or WorkloadSpec(),
+            self.profiler._architecture_for(request.cubin),
+            self.profiler.sample_period,
+        )
+
+    def run(self, request: ProfileRequest) -> ProfiledKernel:
+        """Profile the requested launch, consulting the cache first."""
+        key = None
+        if self.cache is not None:
+            key = self.cache_key(request)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return self._replay(request, cached)
+
+        profiled = self.profiler.profile(
+            request.cubin, request.kernel, request.config, request.workload
+        )
+        if self.cache is not None and key is not None:
+            self.cache.put(key, profiled.profile)
+        return profiled
+
+    def _replay(self, request: ProfileRequest, profile: KernelProfile) -> ProfiledKernel:
+        """Rebuild a :class:`ProfiledKernel` around a cached profile.
+
+        Structure recovery and the occupancy calculation are deterministic
+        static analyses; only the simulation itself is skipped (and its raw
+        :class:`~repro.sampling.simulator.SimulationResult` is absent).
+        """
+        workload = request.workload or WorkloadSpec()
+        structure = build_program_structure(request.cubin)
+        occupancy = self.profiler.occupancy_for(request.cubin, request.kernel, request.config)
+        return ProfiledKernel(
+            kernel=request.kernel,
+            profile=profile,
+            structure=structure,
+            cubin=request.cubin,
+            config=request.config,
+            workload=workload,
+            occupancy=occupancy,
+            simulation=None,
+        )
+
+
+class AnalyzeStage:
+    """The analysis stage: blame, match optimizers, estimate, rank."""
+
+    name = "analyze"
+
+    def __init__(
+        self,
+        architecture: Optional[GpuArchitecture] = None,
+        optimizers: Optional[Iterable[Optimizer]] = None,
+        analyzer: Optional[DynamicAnalyzer] = None,
+    ):
+        self.analyzer = analyzer or DynamicAnalyzer(architecture, optimizers)
+
+    @property
+    def architecture(self) -> GpuArchitecture:
+        return self.analyzer.architecture
+
+    def run(self, request: AnalyzeRequest) -> AdviceReport:
+        return self.analyzer.analyze(request.profile, request.structure)

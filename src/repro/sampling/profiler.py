@@ -44,7 +44,9 @@ class ProfiledKernel:
     config: LaunchConfig
     workload: WorkloadSpec
     occupancy: OccupancyResult
-    simulation: SimulationResult
+    #: Raw simulator output; ``None`` when the profile was replayed from the
+    #: pipeline's on-disk cache instead of being simulated.
+    simulation: Optional[SimulationResult] = None
 
     @property
     def kernel_cycles(self) -> float:
@@ -83,13 +85,7 @@ class Profiler:
         if not kernel_function.is_kernel:
             raise ValueError(f"{kernel_name!r} is a device function, not a kernel")
 
-        shared_memory = max(config.shared_memory_bytes, kernel_function.shared_memory_bytes)
-        occupancy = OccupancyCalculator(architecture).calculate(
-            grid_blocks=config.grid_blocks,
-            threads_per_block=config.threads_per_block,
-            registers_per_thread=kernel_function.registers_per_thread,
-            shared_memory_per_block=shared_memory,
-        )
+        occupancy = self.occupancy_for(cubin, kernel_name, config, architecture)
 
         warps_per_block = math.ceil(config.threads_per_block / architecture.warp_size)
         blocks_on_sm = max(1, occupancy.blocks_per_sm)
@@ -142,12 +138,18 @@ class Profiler:
             sample_period=self.sample_period,
         )
 
+        # Record in (function, offset) order — the canonical order of the
+        # JSON serialization — so a profile replayed from the pipeline cache
+        # iterates identically to a freshly simulated one (downstream
+        # tie-breaks depend on dict insertion order).
         profile = KernelProfile(kernel=kernel_name, statistics=statistics)
-        for (function, offset), reasons in simulation.stall_counts.items():
-            for reason, count in reasons.items():
+        keys = sorted(set(simulation.stall_counts) | set(simulation.issue_counts))
+        for function, offset in keys:
+            for reason, count in simulation.stall_counts.get((function, offset), {}).items():
                 profile.record_stall(function, offset, reason, count)
-        for (function, offset), count in simulation.issue_counts.items():
-            profile.record_issue(function, offset, count)
+            issued = simulation.issue_counts.get((function, offset), 0)
+            if issued:
+                profile.record_issue(function, offset, issued)
 
         return ProfiledKernel(
             kernel=kernel_name,
@@ -158,6 +160,25 @@ class Profiler:
             workload=workload,
             occupancy=occupancy,
             simulation=simulation,
+        )
+
+    # ------------------------------------------------------------------
+    def occupancy_for(
+        self,
+        cubin: Cubin,
+        kernel_name: str,
+        config: LaunchConfig,
+        architecture: Optional[GpuArchitecture] = None,
+    ) -> OccupancyResult:
+        """Occupancy of one launch (static, no simulation involved)."""
+        architecture = architecture or self._architecture_for(cubin)
+        kernel_function = cubin.function(kernel_name)
+        shared_memory = max(config.shared_memory_bytes, kernel_function.shared_memory_bytes)
+        return OccupancyCalculator(architecture).calculate(
+            grid_blocks=config.grid_blocks,
+            threads_per_block=config.threads_per_block,
+            registers_per_thread=kernel_function.registers_per_thread,
+            shared_memory_per_block=shared_memory,
         )
 
     # ------------------------------------------------------------------
@@ -180,7 +201,9 @@ class Profiler:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         profile_path = directory / f"{profiled.kernel}.profile.json"
+        # Module names may carry path separators (e.g. "rodinia/hotspot").
         cubin_path = directory / f"{profiled.cubin.module_name}.json"
+        cubin_path.parent.mkdir(parents=True, exist_ok=True)
         profile_path.write_text(profiled.profile.to_json(indent=2))
         cubin_path.write_text(profiled.cubin.to_json(indent=2))
         return profile_path

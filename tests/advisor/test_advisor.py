@@ -91,3 +91,53 @@ class TestCli:
 
     def test_no_arguments_shows_help(self, capsys):
         assert cli_main([]) == 2
+
+    def test_arch_flag_threads_through_to_the_report(self, capsys):
+        case = "rodinia/gaussian:thread_increase"
+        assert cli_main(["--case", case, "--json", "--arch", "sm_70"]) == 0
+        volta = json.loads(capsys.readouterr().out)
+        assert cli_main(["--case", case, "--json", "--arch", "sm_75"]) == 0
+        turing = json.loads(capsys.readouterr().out)
+        # Turing's halved warp slots change the launch statistics.
+        assert volta["statistics"] != turing["statistics"]
+
+    def test_unknown_arch_flag_is_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["--case", "rodinia/hotspot:strength_reduction", "--arch", "sm_1"])
+
+    def test_offline_profile_cubin_json_round_trip(
+        self, toy_cubin, toy_config, toy_workload, tmp_path, capsys
+    ):
+        """Dump through the profiler, reload through the CLI, compare totals."""
+        profiler = Profiler(sample_period=8)
+        profiled = profiler.profile(toy_cubin, "toy_kernel", toy_config, toy_workload)
+        profile_path = Profiler.dump(profiled, tmp_path)
+        cubin_path = tmp_path / "toy_module.json"
+        assert (
+            cli_main(
+                ["--profile", str(profile_path), "--cubin", str(cubin_path), "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "toy_kernel"
+        assert payload["totals"]["total_samples"] == profiled.profile.total_samples
+        assert payload["advice"]
+
+    def test_all_sweeps_through_batch_advisor(self, capsys):
+        assert cli_main(["--all", "--limit", "2", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        body = captured.out.strip().splitlines()
+        # Header, rule, two case rows, blank line, summary.
+        assert "2/2 cases ok" in body[-1]
+
+    def test_all_json_with_cache(self, tmp_path, capsys):
+        args = ["--all", "--limit", "2", "--cache-dir", str(tmp_path), "--json"]
+        assert cli_main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cli_main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert [entry["report"] for entry in cold] == [
+            entry["report"] for entry in warm
+        ]
+        assert all(entry["ok"] for entry in warm)

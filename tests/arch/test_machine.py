@@ -58,3 +58,38 @@ def test_register_architecture_roundtrip():
     finally:
         from repro.arch import machine
         machine._REGISTRY.pop("sm_999", None)
+
+
+class TestNewerGenerations:
+    """The Turing (sm_75) and Ampere (sm_80) models added for multi-arch sweeps."""
+
+    def test_registered(self):
+        from repro.arch.machine import AmpereLike, TuringLike, architecture_flags
+
+        assert get_architecture("sm_75") is TuringLike
+        assert get_architecture("sm_80") is AmpereLike
+        assert {"sm_35", "sm_60", "sm_70", "sm_75", "sm_80"} <= set(architecture_flags())
+
+    def test_occupancy_limits_diverge_from_volta(self):
+        from repro.arch.machine import AmpereLike, TuringLike
+        from repro.arch.occupancy import OccupancyCalculator
+
+        volta = OccupancyCalculator(VoltaV100).calculate(
+            grid_blocks=4096, threads_per_block=256
+        )
+        turing = OccupancyCalculator(TuringLike).calculate(
+            grid_blocks=4096, threads_per_block=256
+        )
+        ampere = OccupancyCalculator(AmpereLike).calculate(
+            grid_blocks=4096, threads_per_block=256
+        )
+        # Turing's 32 warp slots halve the resident warps per SM.
+        assert turing.warps_per_sm < volta.warps_per_sm
+        # Ampere's extra SMs change the wave count for the same grid.
+        assert ampere.waves < volta.waves
+
+    def test_latency_overrides_differ(self):
+        from repro.arch.machine import AmpereLike, TuringLike
+
+        assert TuringLike.latency("LDG") != VoltaV100.latency("LDG")
+        assert AmpereLike.latency("LDG") != TuringLike.latency("LDG")

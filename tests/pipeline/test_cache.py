@@ -1,0 +1,176 @@
+"""Tests for the on-disk profile cache and the cached profiling stage."""
+
+import pytest
+
+from repro.arch.machine import TuringLike, VoltaV100
+from repro.pipeline.cache import ProfileCache, profile_cache_key
+from repro.pipeline.stages import ProfileRequest, ProfileStage
+from repro.sampling.sample import LaunchConfig
+from repro.sampling.simulator import SMSimulator
+from repro.sampling.workload import WorkloadSpec
+
+
+@pytest.fixture
+def key_inputs(toy_cubin, toy_config, toy_workload):
+    return dict(
+        cubin=toy_cubin,
+        kernel_name="toy_kernel",
+        config=toy_config,
+        workload=toy_workload,
+        architecture=VoltaV100,
+        sample_period=8,
+    )
+
+
+class TestCacheKey:
+    def test_key_is_stable(self, key_inputs):
+        assert profile_cache_key(**key_inputs) == profile_cache_key(**key_inputs)
+
+    def test_sample_period_invalidates(self, key_inputs):
+        baseline = profile_cache_key(**key_inputs)
+        assert profile_cache_key(**{**key_inputs, "sample_period": 16}) != baseline
+
+    def test_architecture_invalidates(self, key_inputs):
+        baseline = profile_cache_key(**key_inputs)
+        assert (
+            profile_cache_key(**{**key_inputs, "architecture": TuringLike}) != baseline
+        )
+
+    def test_launch_config_invalidates(self, key_inputs):
+        baseline = profile_cache_key(**key_inputs)
+        bigger = key_inputs["config"].with_blocks(key_inputs["config"].grid_blocks * 2)
+        assert profile_cache_key(**{**key_inputs, "config": bigger}) != baseline
+
+    def test_workload_trip_counts_invalidate(self, key_inputs):
+        baseline = profile_cache_key(**key_inputs)
+        changed = key_inputs["workload"].copy(loop_trip_counts={12: 24})
+        assert profile_cache_key(**{**key_inputs, "workload": changed}) != baseline
+
+    def test_callable_trip_counts_digest_by_behaviour(self, key_inputs):
+        ramp = key_inputs["workload"].copy(
+            loop_trip_counts={12: lambda warp, total: 4 + warp}
+        )
+        flat = key_inputs["workload"].copy(
+            loop_trip_counts={12: lambda warp, total: 4}
+        )
+        ramp_key = profile_cache_key(**{**key_inputs, "workload": ramp})
+        flat_key = profile_cache_key(**{**key_inputs, "workload": flat})
+        assert ramp_key != flat_key
+        # The same lambda source digests identically across evaluations.
+        ramp_again = key_inputs["workload"].copy(
+            loop_trip_counts={12: lambda warp, total: 4 + warp}
+        )
+        assert profile_cache_key(**{**key_inputs, "workload": ramp_again}) == ramp_key
+
+    def test_callable_default_arguments_invalidate(self, key_inputs):
+        """Behaviour bound via default args (the families.py idiom) must digest."""
+
+        def make_trip(count):
+            def trip(warp, total, _count=count):
+                return _count
+
+            return trip
+
+        big = key_inputs["workload"].copy(loop_trip_counts={12: make_trip(400)})
+        small = key_inputs["workload"].copy(loop_trip_counts={12: make_trip(4)})
+        assert profile_cache_key(
+            **{**key_inputs, "workload": big}
+        ) != profile_cache_key(**{**key_inputs, "workload": small})
+
+    def test_nested_code_objects_digest_deterministically(self, key_inputs):
+        """No repr() fallback: nested lambdas must not digest by memory address."""
+        first = key_inputs["workload"].copy(
+            loop_trip_counts={12: lambda warp, total: (lambda: warp + 1)()}
+        )
+        second = key_inputs["workload"].copy(
+            loop_trip_counts={12: lambda warp, total: (lambda: warp + 1)()}
+        )
+        assert profile_cache_key(
+            **{**key_inputs, "workload": first}
+        ) == profile_cache_key(**{**key_inputs, "workload": second})
+
+    def test_partials_digest_by_arguments(self, key_inputs):
+        import functools
+
+        def trip(count, warp, total):
+            return count
+
+        four = key_inputs["workload"].copy(
+            loop_trip_counts={12: functools.partial(trip, 4)}
+        )
+        eight = key_inputs["workload"].copy(
+            loop_trip_counts={12: functools.partial(trip, 8)}
+        )
+        four_again = key_inputs["workload"].copy(
+            loop_trip_counts={12: functools.partial(trip, 4)}
+        )
+        four_key = profile_cache_key(**{**key_inputs, "workload": four})
+        assert four_key != profile_cache_key(**{**key_inputs, "workload": eight})
+        assert four_key == profile_cache_key(**{**key_inputs, "workload": four_again})
+
+    def test_binary_invalidates(self, key_inputs, toy_cubin):
+        from dataclasses import replace
+
+        baseline = profile_cache_key(**key_inputs)
+        relabeled = replace(toy_cubin, module_name="other_module")
+        assert profile_cache_key(**{**key_inputs, "cubin": relabeled}) != baseline
+
+
+class TestProfileCache:
+    def test_round_trip(self, tmp_path, toy_profiled):
+        cache = ProfileCache(tmp_path)
+        cache.put("k1", toy_profiled.profile)
+        restored = cache.get("k1")
+        assert restored is not None
+        assert restored.to_json() == toy_profiled.profile.to_json()
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_miss_and_clear(self, tmp_path, toy_profiled):
+        cache = ProfileCache(tmp_path)
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+        cache.put("k1", toy_profiled.profile)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert "k1" not in cache
+
+    def test_torn_entry_is_a_miss(self, tmp_path, toy_profiled):
+        cache = ProfileCache(tmp_path)
+        cache.put("k1", toy_profiled.profile)
+        cache.path_for("k1").write_text("{not json")
+        assert cache.get("k1") is None
+
+
+class TestProfileStageCaching:
+    def test_warm_run_skips_the_simulator(
+        self, tmp_path, toy_cubin, toy_config, toy_workload, monkeypatch
+    ):
+        stage = ProfileStage(sample_period=8, cache=tmp_path)
+        request = ProfileRequest(
+            cubin=toy_cubin, kernel="toy_kernel", config=toy_config, workload=toy_workload
+        )
+        cold = stage.run(request)
+        assert cold.simulation is not None
+
+        def explode(self, *args, **kwargs):
+            raise AssertionError("simulator invoked on a warm cache")
+
+        monkeypatch.setattr(SMSimulator, "simulate", explode)
+        warm = stage.run(request)
+        assert warm.simulation is None
+        assert warm.profile.to_json() == cold.profile.to_json()
+        assert warm.kernel_cycles == cold.kernel_cycles
+        assert warm.occupancy == cold.occupancy
+        assert stage.cache.hits == 1
+
+    def test_changed_sample_period_misses(
+        self, tmp_path, toy_cubin, toy_config, toy_workload
+    ):
+        request = ProfileRequest(
+            cubin=toy_cubin, kernel="toy_kernel", config=toy_config, workload=toy_workload
+        )
+        ProfileStage(sample_period=8, cache=tmp_path).run(request)
+        other = ProfileStage(sample_period=16, cache=tmp_path)
+        other.run(request)
+        assert other.cache.hits == 0
+        assert other.cache.misses == 1
