@@ -35,7 +35,12 @@ from typing import List, Optional
 from repro.advisor.report import AdviceReport, render_report
 from repro.arch.machine import architecture_flags
 from repro.cubin.binary import Cubin
-from repro.pipeline.batch import BatchAdvisor, BatchConfig, advise_case_report
+from repro.pipeline.batch import (
+    BatchAdvisor,
+    BatchConfig,
+    advise_case_report,
+    error_summary,
+)
 from repro.pipeline.runner import ProgressEvent
 from repro.sampling.sample import KernelProfile
 from repro.structure.program import build_program_structure
@@ -97,14 +102,21 @@ def _report_for_profile(args: argparse.Namespace) -> AdviceReport:
 
 
 def _progress_printer(stream):
-    """A progress callback that logs one line per finished case."""
+    """A progress callback that logs one line per finished case.
+
+    The counter tracks *completions*, not submission indices: pool workers
+    finish out of order, and a counter that jumps around reads as lost cases.
+    """
+    finished = 0
 
     def on_event(event: ProgressEvent) -> None:
+        nonlocal finished
         if event.status == "start":
             return
+        finished += 1
         status = "ok" if event.status == "done" else "FAILED"
         print(
-            f"[{event.index + 1:3d}/{event.total}] {event.step:55s} "
+            f"[{finished:3d}/{event.total}] {event.step:55s} "
             f"{status} ({event.duration:.2f}s)",
             file=stream,
         )
@@ -144,8 +156,7 @@ def _sweep_all(args: argparse.Namespace) -> int:
         print("-" * len(header))
         for result in results:
             if not result.ok:
-                last_line = result.error.strip().splitlines()[-1]
-                print(f"{result.case_id:55s} FAILED: {last_line}")
+                print(f"{result.case_id:55s} FAILED: {error_summary(result.error)}")
                 continue
             advice = [
                 item for item in result.value["report"]["advice"] if item["applicable"]
@@ -169,6 +180,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``gpa-advise``."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.all and args.case:
+        parser.error("--case cannot be combined with --all (pick one scope)")
+    if args.all and (args.profile or args.cubin):
+        parser.error("--profile/--cubin cannot be combined with --all")
+    if args.case and (args.profile or args.cubin):
+        parser.error("--case cannot be combined with --profile/--cubin (pick one scope)")
+    if args.limit is not None and not args.all:
+        parser.error("--limit only applies to --all sweeps")
+    if args.limit is not None and args.limit < 0:
+        parser.error("--limit must be non-negative")
 
     if args.list:
         for name in case_names():

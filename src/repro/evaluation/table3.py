@@ -22,7 +22,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.advisor.advisor import GPA
 from repro.evaluation.metrics import geometric_mean
-from repro.pipeline.batch import BatchAdvisor, BatchConfig, evaluate_case_outcome
+from repro.pipeline.batch import (
+    BatchAdvisor,
+    BatchConfig,
+    error_summary,
+    evaluate_case_outcome,
+)
 from repro.pipeline.runner import ProgressCallback
 from repro.workloads.base import BenchmarkCase
 from repro.workloads.registry import all_cases
@@ -165,4 +170,12 @@ def format_table3(result: Table3Result, include_paper: bool = True) -> str:
         f"{result.geomean_achieved:8.2f}x {result.geomean_estimated:9.2f}x "
         f"{result.mean_error * 100:6.1f}%"
     )
+    if result.failures:
+        lines.append("")
+        lines.append(
+            f"{len(result.failures)} case(s) FAILED and are excluded from the "
+            f"rows and aggregates above:"
+        )
+        for case_id, error in result.failures:
+            lines.append(f"  {case_id}: {error_summary(error)}")
     return "\n".join(lines)

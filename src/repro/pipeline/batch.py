@@ -27,7 +27,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
-from typing import Any, Callable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Union
 
 from repro.arch.machine import GpuArchitecture, get_architecture
 from repro.pipeline.runner import (
@@ -37,8 +37,14 @@ from repro.pipeline.runner import (
     ProgressEvent,
 )
 from repro.pipeline.stages import retarget
-from repro.workloads.base import BenchmarkCase
-from repro.workloads.registry import case_by_name, case_names
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.base import BenchmarkCase
+
+# repro.workloads is imported lazily inside the functions that need it:
+# touching any of its modules constructs the whole 20+-module benchmark
+# registry, which `import repro` (and every spawned pool worker) should
+# not pay for unless a sweep actually runs.
 
 
 @dataclass(frozen=True)
@@ -79,18 +85,28 @@ class BatchResult:
         return self.error is None
 
 
+def error_summary(error: Optional[str]) -> str:
+    """The last non-empty line of a captured traceback, for one-line display."""
+    lines = (error or "").strip().splitlines()
+    return lines[-1] if lines else "unknown error"
+
+
 #: Worker signature: ``worker(config, case_or_id) -> picklable value``.
-CaseWorker = Callable[[BatchConfig, Union[str, BenchmarkCase]], Any]
+CaseWorker = Callable[[BatchConfig, Union[str, "BenchmarkCase"]], Any]
 
 
-def resolve_case(case_or_id: Union[str, BenchmarkCase]) -> BenchmarkCase:
+def resolve_case(case_or_id: Union[str, "BenchmarkCase"]) -> "BenchmarkCase":
     """Accept a registry ``case_id`` or a :class:`BenchmarkCase` object."""
+    from repro.workloads.registry import case_by_name
+
     if isinstance(case_or_id, str):
         return case_by_name(case_or_id)
     return case_or_id
 
 
-def _is_registry_case(case: BenchmarkCase) -> bool:
+def _is_registry_case(case: "BenchmarkCase") -> bool:
+    from repro.workloads.registry import case_by_name
+
     try:
         return case_by_name(case.case_id) is case
     except KeyError:
@@ -261,6 +277,8 @@ class BatchAdvisor:
         progress: Optional[ProgressCallback] = None,
     ) -> List[BatchResult]:
         """Advise every named case (default: the full registry)."""
+        from repro.workloads.registry import case_names
+
         ids = list(case_ids) if case_ids is not None else case_names()
         payloads = [(case_id, optimized) for case_id in ids]
         return self.run(advise_case, payloads, labels=ids, progress=progress)
@@ -299,11 +317,16 @@ class BatchAdvisor:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {}
             for index, payload in enumerate(payloads):
-                emit(ProgressEvent(labels[index], index, total, "start"))
                 future = pool.submit(_pool_call, worker, self.config, payload)
                 futures[future] = index
             for future in as_completed(futures):
                 index = futures[future]
+                # The worker ran in another process, so its "start" could not
+                # be observed live; emit start/done as an adjacent pair at
+                # collection time.  Unlike the inline PipelineRunner, pairs
+                # arrive in completion order, not submission order — consumers
+                # must not assume event.index is monotonic.
+                emit(ProgressEvent(labels[index], index, total, "start"))
                 try:
                     value, error, duration = future.result()
                 except Exception:
@@ -321,4 +344,9 @@ class BatchAdvisor:
                 emit(
                     ProgressEvent(labels[index], index, total, status, duration, error)
                 )
-        return [result for result in results if result is not None]
+        missing = [index for index, result in enumerate(results) if result is None]
+        if missing:
+            # Callers zip results against their input positionally; a silently
+            # shortened list would misattribute every following row.
+            raise RuntimeError(f"pool sweep lost results for indices {missing}")
+        return results

@@ -43,16 +43,6 @@ class ProfileRequest:
     config: LaunchConfig
     workload: Optional[WorkloadSpec] = None
 
-    @classmethod
-    def from_setup(cls, setup) -> "ProfileRequest":
-        """Build a request from a :class:`~repro.workloads.base.KernelSetup`."""
-        return cls(
-            cubin=setup.cubin,
-            kernel=setup.kernel,
-            config=setup.config,
-            workload=setup.workload,
-        )
-
 
 @dataclass(frozen=True)
 class AnalyzeRequest:
@@ -109,21 +99,35 @@ class ProfileStage:
             request.workload or WorkloadSpec(),
             self.profiler._architecture_for(request.cubin),
             self.profiler.sample_period,
+            max_cycles=self.profiler.max_cycles,
         )
 
     def run(self, request: ProfileRequest) -> ProfiledKernel:
-        """Profile the requested launch, consulting the cache first."""
+        """Profile the requested launch, consulting the cache first.
+
+        A profiler configured with ``keep_samples=True`` wants the raw
+        per-cycle samples, which only the simulator produces — replays carry
+        ``simulation=None`` — so such a stage never reads the cache (it still
+        writes, since the aggregated profile is identical either way).
+        """
         key = None
+        store = False
         if self.cache is not None:
             key = self.cache_key(request)
-            cached = self.cache.get(key)
-            if cached is not None:
-                return self._replay(request, cached)
+            if self.profiler.keep_samples:
+                # Still simulate every time, but don't rewrite an identical
+                # entry on every run of a sample-keeping sweep.
+                store = key not in self.cache
+            else:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return self._replay(request, cached)
+                store = True
 
         profiled = self.profiler.profile(
             request.cubin, request.kernel, request.config, request.workload
         )
-        if self.cache is not None and key is not None:
+        if store:
             self.cache.put(key, profiled.profile)
         return profiled
 

@@ -27,7 +27,7 @@ from repro.arch.machine import GpuArchitecture, VoltaV100, get_architecture
 from repro.arch.occupancy import OccupancyCalculator, OccupancyResult
 from repro.cubin.binary import Cubin
 from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
-from repro.sampling.simulator import SimulationResult, SMSimulator
+from repro.sampling.simulator import DEFAULT_MAX_CYCLES, SimulationResult, SMSimulator
 from repro.sampling.trace import generate_warp_trace
 from repro.sampling.workload import WorkloadSpec
 from repro.structure.program import ProgramStructure, build_program_structure
@@ -62,7 +62,7 @@ class Profiler:
         architecture: Optional[GpuArchitecture] = None,
         sample_period: int = 32,
         keep_samples: bool = False,
-        max_cycles: int = 4_000_000,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
     ):
         self.architecture = architecture or VoltaV100
         self.sample_period = sample_period

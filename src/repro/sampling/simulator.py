@@ -38,6 +38,10 @@ from repro.sampling.sample import PCSample
 from repro.sampling.stall_reasons import StallReason
 from repro.sampling.trace import TraceOp
 
+#: Default bound on the simulation loop; shared by the profiler and the
+#: pipeline cache key so a truncated simulation never replays as a full one.
+DEFAULT_MAX_CYCLES = 4_000_000
+
 _FAR_FUTURE = 1 << 60
 
 
@@ -118,7 +122,7 @@ class SMSimulator:
         architecture: GpuArchitecture,
         sample_period: int = 32,
         keep_samples: bool = False,
-        max_cycles: int = 4_000_000,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
     ):
         if sample_period < 1:
             raise ValueError("sample_period must be >= 1")

@@ -124,12 +124,50 @@ class TestCli:
         assert payload["totals"]["total_samples"] == profiled.profile.total_samples
         assert payload["advice"]
 
+    def test_case_and_all_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--all", "--case", "rodinia/hotspot:strength_reduction"])
+        assert excinfo.value.code == 2
+        assert "--case cannot be combined with --all" in capsys.readouterr().err
+
+    def test_profile_and_all_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--all", "--profile", "p.json", "--cubin", "c.json"])
+        assert excinfo.value.code == 2
+        assert "--profile/--cubin cannot be combined with --all" in capsys.readouterr().err
+
+    def test_limit_without_all_is_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--case", "rodinia/hotspot:strength_reduction", "--limit", "2"])
+        assert excinfo.value.code == 2
+        assert "--limit only applies to --all" in capsys.readouterr().err
+
+    def test_case_and_cubin_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--case", "rodinia/hotspot:strength_reduction", "--cubin", "c.json"])
+        assert excinfo.value.code == 2
+        assert "--case cannot be combined with --profile/--cubin" in capsys.readouterr().err
+
+    def test_negative_limit_is_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--all", "--limit", "-2"])
+        assert excinfo.value.code == 2
+        assert "--limit must be non-negative" in capsys.readouterr().err
+
     def test_all_sweeps_through_batch_advisor(self, capsys):
         assert cli_main(["--all", "--limit", "2", "--jobs", "2"]) == 0
         captured = capsys.readouterr()
         body = captured.out.strip().splitlines()
         # Header, rule, two case rows, blank line, summary.
         assert "2/2 cases ok" in body[-1]
+        # The progress counter counts completions, so it is monotonic even
+        # when pool workers finish out of submission order.
+        counters = [
+            int(line.split("/")[0].lstrip("["))
+            for line in captured.err.splitlines()
+            if line.startswith("[")
+        ]
+        assert counters == [1, 2]
 
     def test_all_json_with_cache(self, tmp_path, capsys):
         args = ["--all", "--limit", "2", "--cache-dir", str(tmp_path), "--json"]

@@ -16,6 +16,27 @@ from repro.workloads.registry import case_by_name
 SUBSET = ["rodinia/backprop:warp_balance", "rodinia/gaussian:thread_increase"]
 
 
+class TestLazyRegistryImport:
+    def test_import_repro_does_not_load_the_workload_registry(self):
+        """`import repro` (and every spawned pool worker) must not pay for
+        constructing the whole benchmark registry."""
+        import subprocess
+        import sys
+
+        loaded = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import sys, repro; "
+                "print(sum(m.startswith('repro.workloads') for m in sys.modules))",
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert loaded.stdout.strip() == "0"
+
+
 class TestRunner:
     def test_execute_captures_per_step_failures(self):
         events = []
@@ -64,6 +85,16 @@ class TestBatchAdvisor:
         assert not results[0].ok and "KeyError" in results[0].error
         assert results[1].ok
 
+    def test_pool_progress_pairs_start_with_completion(self):
+        """Pool mode must not report every case as started at submission."""
+        events = []
+        BatchAdvisor(BatchConfig(jobs=2)).advise(SUBSET, progress=events.append)
+        assert len(events) == 2 * len(SUBSET)
+        for start, finish in zip(events[::2], events[1::2]):
+            assert start.status == "start"
+            assert finish.status in ("done", "error")
+            assert start.step == finish.step
+
     def test_unregistered_case_falls_back_inline(self):
         import dataclasses
 
@@ -110,6 +141,20 @@ class TestTable3Pipeline:
                 assert ref.achieved_speedup == row.achieved_speedup
                 assert ref.estimated_speedup == row.estimated_speedup
                 assert ref.total_samples == row.total_samples
+
+    def test_format_table3_surfaces_failures(self):
+        from repro.evaluation.table3 import Table3Result, format_table3
+
+        result = Table3Result(failures=[("no/such:case", "KeyError: 'no/such:case'")])
+        rendered = format_table3(result)
+        assert "1 case(s) FAILED" in rendered
+        assert "no/such:case: KeyError" in rendered
+
+    def test_format_table3_tolerates_blank_error_text(self):
+        from repro.evaluation.table3 import Table3Result, format_table3
+
+        rendered = format_table3(Table3Result(failures=[("x/y:z", " \n")]))
+        assert "x/y:z: unknown error" in rendered
 
     def test_failure_lands_in_failures_not_exception(self, monkeypatch):
         case = case_by_name(SUBSET[0])

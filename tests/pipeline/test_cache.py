@@ -89,6 +89,228 @@ class TestCacheKey:
             **{**key_inputs, "workload": first}
         ) == profile_cache_key(**{**key_inputs, "workload": second})
 
+    def test_lambdas_differing_only_in_globals_invalidate(self, key_inputs):
+        """max and min compile to identical bytecode; co_names must digest."""
+        from repro.pipeline.cache import _describe
+
+        assert _describe(lambda n: max(n, 10)) != _describe(lambda n: min(n, 10))
+        upper = key_inputs["workload"].copy(
+            loop_trip_counts={12: lambda warp, total: max(warp, 10)}
+        )
+        lower = key_inputs["workload"].copy(
+            loop_trip_counts={12: lambda warp, total: min(warp, 10)}
+        )
+        assert profile_cache_key(
+            **{**key_inputs, "workload": upper}
+        ) != profile_cache_key(**{**key_inputs, "workload": lower})
+
+    def test_callable_instances_digest_by_state_not_address(self, key_inputs):
+        class Trip:
+            def __init__(self, count):
+                self.count = count
+
+            def __call__(self, warp, total):
+                return self.count
+
+        four = key_inputs["workload"].copy(loop_trip_counts={12: Trip(4)})
+        eight = key_inputs["workload"].copy(loop_trip_counts={12: Trip(8)})
+        four_again = key_inputs["workload"].copy(loop_trip_counts={12: Trip(4)})
+        four_key = profile_cache_key(**{**key_inputs, "workload": four})
+        assert four_key != profile_cache_key(**{**key_inputs, "workload": eight})
+        # Distinct instances with equal state share a key: no memory address
+        # leaks into the digest.
+        assert four_key == profile_cache_key(**{**key_inputs, "workload": four_again})
+
+    def test_callable_instance_helper_methods_invalidate(self, key_inputs):
+        """__call__ delegating to a helper must digest the helper's code."""
+
+        def make_trip(helper_body):
+            class Trip:
+                def __call__(self, warp, total):
+                    return self._compute(warp)
+
+                _compute = helper_body
+
+            return Trip()
+
+        flat = key_inputs["workload"].copy(
+            loop_trip_counts={12: make_trip(lambda self, warp: 4)}
+        )
+        ramp = key_inputs["workload"].copy(
+            loop_trip_counts={12: make_trip(lambda self, warp: warp * 2)}
+        )
+        assert profile_cache_key(
+            **{**key_inputs, "workload": flat}
+        ) != profile_cache_key(**{**key_inputs, "workload": ramp})
+
+    def test_bound_methods_digest_receiver_state(self, key_inputs):
+        class Trips:
+            def __init__(self, count):
+                self.count = count
+
+            def trip(self, warp, total):
+                return self.count
+
+        four = key_inputs["workload"].copy(loop_trip_counts={12: Trips(4).trip})
+        eight = key_inputs["workload"].copy(loop_trip_counts={12: Trips(8).trip})
+        assert profile_cache_key(
+            **{**key_inputs, "workload": four}
+        ) != profile_cache_key(**{**key_inputs, "workload": eight})
+
+    def test_max_cycles_invalidates(self, key_inputs):
+        baseline = profile_cache_key(**key_inputs)
+        assert profile_cache_key(**{**key_inputs, "max_cycles": 10_000}) != baseline
+
+    def test_self_referential_closures_digest_without_recursing(self, key_inputs):
+        def make_recursive():
+            def trip(warp, total):
+                return 1 if warp <= 0 else trip(warp - 1, total)
+
+            return trip
+
+        cyclic = key_inputs["workload"].copy(loop_trip_counts={12: make_recursive()})
+        cyclic_again = key_inputs["workload"].copy(
+            loop_trip_counts={12: make_recursive()}
+        )
+        cyclic_key = profile_cache_key(**{**key_inputs, "workload": cyclic})
+        assert cyclic_key == profile_cache_key(
+            **{**key_inputs, "workload": cyclic_again}
+        )
+
+    def test_builtin_callables_have_addressless_descriptions(self):
+        from repro.pipeline.cache import _describe
+
+        assert _describe(max) == _describe(max)
+        assert "0x" not in _describe(max)
+
+    def test_bound_c_methods_digest_container_contents(self):
+        """{0: 4}.get and {0: 8}.get must not share a description."""
+        from repro.pipeline.cache import _describe
+
+        assert _describe({0: 4}.get) != _describe({0: 8}.get)
+        assert _describe({0: 4}.get) == _describe({0: 4}.get)
+
+    def test_dicts_with_object_keys_digest_by_content_order(self):
+        """Dict items must order by described key, not address-bearing repr."""
+        from repro.pipeline.cache import _describe
+
+        class Key:
+            def __init__(self, tag):
+                self.tag = tag
+
+        forward = {Key("a"): 1, Key("b"): 2}
+        backward = {Key("b"): 2, Key("a"): 1}
+        assert _describe(forward) == _describe(backward)
+        assert "0x" not in _describe(forward)
+
+    def test_dataclass_receivers_digest_addresslessly(self):
+        """__dataclass_fields__ reprs embed dataclasses.MISSING's address."""
+        from dataclasses import dataclass
+
+        from repro.pipeline.cache import _describe
+
+        @dataclass
+        class Cfg:
+            count: int = 4
+
+            def trips(self, warp, total):
+                return self.count
+
+        digest = _describe(Cfg(4).trips)
+        assert "0x" not in digest
+        assert digest == _describe(Cfg(4).trips)
+        assert digest != _describe(Cfg(8).trips)
+
+    def test_set_state_digests_independent_of_hash_seed(self):
+        """Raw pickle bytes of a str set vary with PYTHONHASHSEED; the
+        structural description must not."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.pipeline.cache import _describe\n"
+            "class Tagged:\n"
+            "    def __init__(self):\n"
+            "        self.tags = {'alpha', 'beta', 'gamma', 'delta'}\n"
+            "    def trip(self, warp, total):\n"
+            "        return len(self.tags)\n"
+            "print(_describe(Tagged().trip))\n"
+        )
+        digests = set()
+        for seed in ("1", "2"):
+            run = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONHASHSEED": seed},
+            )
+            digests.add(run.stdout)
+        assert len(digests) == 1
+        assert "0x" not in digests.pop()
+
+    def test_c_level_receiver_state_digests_via_pickle(self):
+        """random.Random keeps its seed state in the C base, invisible to
+        __dict__/slots — differently seeded receivers must not collide."""
+        import random
+
+        from repro.pipeline.cache import _describe
+
+        assert _describe(random.Random(1).randint) != _describe(random.Random(2).randint)
+        assert _describe(random.Random(1).randint) == _describe(random.Random(1).randint)
+
+    def test_slot_backed_instances_digest_inherited_slots(self):
+        from repro.pipeline.cache import _describe
+
+        class Base:
+            __slots__ = ("count",)
+
+        class Trip(Base):
+            __slots__ = ()
+
+            def __call__(self, warp, total):
+                return self.count
+
+        four, eight = Trip(), Trip()
+        four.count, eight.count = 4, 8
+        assert _describe(four) != _describe(eight)
+
+    def test_closed_over_plain_objects_digest_by_state_not_address(self):
+        from repro.pipeline.cache import _describe
+
+        class Params:
+            def __init__(self, count):
+                self.count = count
+
+        def make_trip(params):
+            return lambda warp, total: params.count
+
+        four = _describe(make_trip(Params(4)))
+        assert "0x" not in four
+        assert four == _describe(make_trip(Params(4)))
+        assert four != _describe(make_trip(Params(8)))
+
+    def test_lru_cache_wrappers_digest_the_wrapped_code(self):
+        import functools
+
+        from repro.pipeline.cache import _describe
+
+        flat = functools.lru_cache(maxsize=None)(lambda warp: 4)
+        ramp = functools.lru_cache(maxsize=None)(lambda warp: warp * 2)
+        assert _describe(flat) != _describe(ramp)
+
+    def test_default_max_cycles_matches_the_stage_key(
+        self, key_inputs, tmp_path, toy_cubin, toy_config, toy_workload
+    ):
+        """The public-API key with no max_cycles must find stage-written entries."""
+        stage = ProfileStage(sample_period=8, cache=tmp_path)
+        request = ProfileRequest(
+            cubin=toy_cubin, kernel="toy_kernel", config=toy_config, workload=toy_workload
+        )
+        stage.run(request)
+        assert profile_cache_key(**key_inputs) in stage.cache
+
     def test_partials_digest_by_arguments(self, key_inputs):
         import functools
 
@@ -140,6 +362,14 @@ class TestProfileCache:
         cache.path_for("k1").write_text("{not json")
         assert cache.get("k1") is None
 
+    def test_wrong_shape_json_is_a_miss(self, tmp_path, toy_profiled):
+        """Valid JSON of the wrong shape must not crash the read path."""
+        cache = ProfileCache(tmp_path)
+        for corrupt in ("null", "[1,2,3]", '{"kernel": 7}', '"just a string"'):
+            cache.put("k1", toy_profiled.profile)
+            cache.path_for("k1").write_text(corrupt)
+            assert cache.get("k1") is None
+
 
 class TestProfileStageCaching:
     def test_warm_run_skips_the_simulator(
@@ -174,3 +404,40 @@ class TestProfileStageCaching:
         other.run(request)
         assert other.cache.hits == 0
         assert other.cache.misses == 1
+
+    def test_keep_samples_profiler_never_replays(
+        self, tmp_path, toy_cubin, toy_config, toy_workload
+    ):
+        """keep_samples wants raw samples, which only the simulator has."""
+        from repro.sampling.profiler import Profiler
+
+        request = ProfileRequest(
+            cubin=toy_cubin, kernel="toy_kernel", config=toy_config, workload=toy_workload
+        )
+        ProfileStage(sample_period=8, cache=tmp_path).run(request)
+        keeper = ProfileStage(
+            profiler=Profiler(sample_period=8, keep_samples=True), cache=tmp_path
+        )
+        kept = keeper.run(request)
+        assert kept.simulation is not None
+        assert kept.simulation.samples
+        # Repeated sample-keeping runs must not rewrite the identical entry.
+        keeper.run(request)
+        assert keeper.cache.stores == 0
+
+    def test_changed_max_cycles_misses(
+        self, tmp_path, toy_cubin, toy_config, toy_workload
+    ):
+        """A truncated simulation must never be replayed as a full one."""
+        from repro.sampling.profiler import Profiler
+
+        request = ProfileRequest(
+            cubin=toy_cubin, kernel="toy_kernel", config=toy_config, workload=toy_workload
+        )
+        ProfileStage(sample_period=8, cache=tmp_path).run(request)
+        truncated = ProfileStage(
+            profiler=Profiler(sample_period=8, max_cycles=10_000), cache=tmp_path
+        )
+        truncated.run(request)
+        assert truncated.cache.hits == 0
+        assert truncated.cache.misses == 1
