@@ -9,7 +9,7 @@ ranked advice report.
 Run with:  python examples/quickstart.py
 """
 
-from repro import GPA, LaunchConfig, WorkloadSpec
+from repro import AdvisingRequest, AdvisingSession, LaunchConfig, WorkloadSpec, render_report
 from repro.cubin.builder import CubinBuilder, imm, p
 from repro.isa.parser import parse_instruction
 
@@ -53,15 +53,18 @@ def main():
     print(f"  source registers : {sorted(str(r) for r in instruction.used_registers)}")
     print()
 
-    cubin = build_kernel()
-    gpa = GPA(sample_period=8)
-    report = gpa.advise(
-        cubin,
-        "saxpy_like",
-        LaunchConfig(grid_blocks=640, threads_per_block=128),
-        WorkloadSpec(loop_trip_counts={8: 16}),
+    session = AdvisingSession(sample_period=8)
+    request = (
+        AdvisingRequest.builder()
+        .binary(
+            build_kernel(),
+            "saxpy_like",
+            LaunchConfig(grid_blocks=640, threads_per_block=128),
+            WorkloadSpec(loop_trip_counts={8: 16}),
+        )
+        .build()
     )
-    print(GPA.render(report, top=3))
+    print(render_report(session.report_for(request), top=3))
 
 
 if __name__ == "__main__":

@@ -21,27 +21,36 @@ The package is organised as the paper's Figure 2:
   application kernels and the harness that regenerates Table 3 and Figures
   1 and 7.
 
+* :mod:`repro.api` — the versioned service-layer API: declarative
+  :class:`~repro.api.request.AdvisingRequest` objects, the
+  :class:`~repro.api.session.AdvisingSession` that executes them (inline,
+  ordered batch, or streamed from a process pool), and lossless
+  request/result serialization under an explicit schema version.
+
 Quickstart::
 
-    from repro import GPA, LaunchConfig, WorkloadSpec
-    from repro.workloads import case_by_name
+    from repro import AdvisingRequest, AdvisingSession, render_report
 
-    case = case_by_name("rodinia/hotspot:strength_reduction")
-    setup = case.build_baseline()
-    report = GPA().advise(setup.cubin, setup.kernel, setup.config, setup.workload)
-    print(GPA.render(report))
+    session = AdvisingSession(sample_period=8)
+    request = AdvisingRequest.builder().case("rodinia/hotspot:strength_reduction").build()
+    print(render_report(session.report_for(request)))
 
-Batch sweeps (with caching and process parallelism) go through
-:class:`~repro.pipeline.batch.BatchAdvisor`::
+Batch sweeps (with caching and process parallelism) stream through the same
+session::
 
-    from repro.pipeline import BatchAdvisor, BatchConfig
-
-    advisor = BatchAdvisor(BatchConfig(jobs=4, cache_dir=".gpa-cache"))
-    results = advisor.advise()          # the whole Table 3 registry
+    session = AdvisingSession(jobs=4, cache=".gpa-cache")
+    requests = [AdvisingRequest.builder().case(name).build()
+                for name in ("rodinia/bfs:loop_unrolling", "rodinia/nw:block_increase")]
+    for result in session.stream(requests):   # typed results, completion order
+        print(result.label, result.ok, f"{result.duration:.2f}s")
 """
 
 from repro.advisor.advisor import GPA
 from repro.advisor.report import AdviceReport, render_report
+from repro.api.request import AdvisingRequest, RequestBuilder, request_for_case
+from repro.api.result import AdvisingResult
+from repro.api.schema import API_SCHEMA_VERSION
+from repro.api.session import AdvisingSession
 from repro.arch.machine import GpuArchitecture, VoltaV100, get_architecture
 from repro.pipeline.batch import BatchAdvisor, BatchConfig, BatchResult
 from repro.pipeline.cache import ProfileCache, profile_cache_key
@@ -60,7 +69,11 @@ from repro.structure.program import ProgramStructure, build_program_structure
 __version__ = "1.0.0"
 
 __all__ = [
+    "API_SCHEMA_VERSION",
     "AdviceReport",
+    "AdvisingRequest",
+    "AdvisingResult",
+    "AdvisingSession",
     "AnalyzeStage",
     "BatchAdvisor",
     "BatchConfig",
@@ -88,7 +101,9 @@ __all__ = [
     "ProfiledKernel",
     "Profiler",
     "ProgramStructure",
+    "RequestBuilder",
     "profile_cache_key",
+    "request_for_case",
     "StallReason",
     "VoltaV100",
     "WorkloadSpec",

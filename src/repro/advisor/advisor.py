@@ -1,31 +1,31 @@
-"""The GPA facade.
+"""The GPA facade (a thin adapter over :class:`~repro.api.session.AdvisingSession`).
 
-``GPA`` combines the profiler (PC sampling), the static analyzer and the
-dynamic analyzer behind two entry points:
+``GPA`` is the paper-era entry point — "GPA is a command line tool that
+automates profiling and analysis stages".  Since the service-layer API
+landed it is a compatibility shim: construction builds an
+:class:`~repro.api.session.AdvisingSession` (exposed as ``GPA.session``)
+and every method delegates to it.  New code should hold a session and
+speak :class:`~repro.api.request.AdvisingRequest` /
+:class:`~repro.api.result.AdvisingResult`; see ``docs/MIGRATION.md``.
 
 * :meth:`GPA.advise` — profile a kernel launch on the simulator and analyze
-  the resulting profile in one call (the command-line workflow of the paper:
-  "GPA is a command line tool that automates profiling and analysis stages");
+  the resulting profile in one call (deprecated: build a binary-source
+  request and call ``session.advise``);
 * :meth:`GPA.analyze` — analyze an existing profile + binary, for offline
   analysis of dumped profiles.
-
-Internally both entry points delegate to the staged pipeline
-(:mod:`repro.pipeline.stages`): ``advise`` is ``ProfileStage`` →
-``AnalyzeStage``, and passing ``cache`` (a directory path or a
-:class:`~repro.pipeline.cache.ProfileCache`) lets repeated launches replay
-their profiles from disk instead of re-simulating.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Optional
 
 from repro.advisor.report import AdviceReport, render_report
 from repro.advisor.static_analyzer import StaticAnalysis, StaticAnalyzer
-from repro.arch.machine import GpuArchitecture, VoltaV100
+from repro.arch.machine import GpuArchitecture
 from repro.cubin.binary import Cubin
 from repro.optimizers.base import Optimizer
-from repro.sampling.profiler import ProfiledKernel, Profiler
+from repro.sampling.profiler import ProfiledKernel
 from repro.sampling.sample import KernelProfile, LaunchConfig
 from repro.sampling.workload import WorkloadSpec
 from repro.structure.program import ProgramStructure
@@ -41,21 +41,27 @@ class GPA:
         sample_period: int = 32,
         cache=None,
     ):
-        # Imported lazily: the stage modules import the analyzer pieces from
-        # this package, so a module-level import would be circular.
-        from repro.pipeline.stages import AnalyzeStage, ProfileStage
+        # Imported lazily: the session module imports the analyzer pieces
+        # from this package, so a module-level import would be circular.
+        from repro.api.session import AdvisingSession
 
-        self.architecture = architecture or VoltaV100
-        self.profiler = Profiler(self.architecture, sample_period=sample_period)
-        self.profile_stage = ProfileStage(profiler=self.profiler, cache=cache)
-        self.analyze_stage = AnalyzeStage(self.architecture, optimizers)
+        self.session = AdvisingSession(
+            architecture=architecture,
+            optimizers=optimizers,
+            sample_period=sample_period,
+            cache=cache,
+        )
+        self.architecture = self.session.architecture
+        self.profiler = self.session.profiler
+        self.profile_stage = self.session.profile_stage
+        self.analyze_stage = self.session.analyze_stage
         self.static_analyzer = StaticAnalyzer(self.architecture)
         self.dynamic_analyzer = self.analyze_stage.analyzer
 
     @property
     def cache(self):
         """The profile cache the profiling stage consults (or ``None``)."""
-        return self.profile_stage.cache
+        return self.session.cache
 
     # ------------------------------------------------------------------
     def profile(
@@ -68,15 +74,13 @@ class GPA:
         """Run the profiling stage only."""
         from repro.pipeline.stages import ProfileRequest
 
-        return self.profile_stage.run(
+        return self.session.profile_stage.run(
             ProfileRequest(cubin=cubin, kernel=kernel_name, config=config, workload=workload)
         )
 
     def analyze(self, profile: KernelProfile, structure: ProgramStructure) -> AdviceReport:
         """Run the dynamic analyzer on an existing profile."""
-        from repro.pipeline.stages import AnalyzeRequest
-
-        return self.analyze_stage.run(AnalyzeRequest(profile=profile, structure=structure))
+        return self.session.analyze(profile, structure)
 
     def analyze_binary(self, cubin: Cubin) -> StaticAnalysis:
         """Run the static analyzer only."""
@@ -89,13 +93,32 @@ class GPA:
         config: LaunchConfig,
         workload: Optional[WorkloadSpec] = None,
     ) -> AdviceReport:
-        """Profile a kernel launch and produce its ranked advice report."""
-        profiled = self.profile(cubin, kernel_name, config, workload)
-        return self.analyze(profiled.profile, profiled.structure)
+        """Profile a kernel launch and produce its ranked advice report.
+
+        .. deprecated:: 1.1
+           Build an :class:`~repro.api.request.AdvisingRequest` and call
+           :meth:`AdvisingSession.advise <repro.api.session.AdvisingSession.advise>`.
+        """
+        warnings.warn(
+            "GPA.advise is deprecated; build an AdvisingRequest and call "
+            "AdvisingSession.advise (see docs/MIGRATION.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.request import AdvisingRequest
+
+        request = AdvisingRequest(
+            source="binary", cubin=cubin, kernel=kernel_name,
+            config=config, workload=workload,
+        )
+        # Delegate without error capture so callers keep seeing the original
+        # exception types this method always raised.
+        profiled = self.session.profile(request)
+        return self.session.advise_profiled(profiled)
 
     def advise_profiled(self, profiled: ProfiledKernel) -> AdviceReport:
         """Analyze an already-profiled kernel launch."""
-        return self.analyze(profiled.profile, profiled.structure)
+        return self.session.advise_profiled(profiled)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -3,7 +3,10 @@
 The paper's GPA is a command-line tool that automates the profiling and
 analysis stages for a CUDA application.  Without a GPU, the CLI operates on
 the built-in synthetic workloads (or on a previously dumped profile + binary
-pair), driving the staged pipeline of :mod:`repro.pipeline`:
+pair).  It is a thin adapter over the service-layer API: every invocation
+builds an :class:`~repro.api.session.AdvisingSession`, describes the work as
+:class:`~repro.api.request.AdvisingRequest` objects and renders the typed
+:class:`~repro.api.result.AdvisingResult` objects that come back:
 
 .. code-block:: console
 
@@ -13,12 +16,12 @@ pair), driving the staged pipeline of :mod:`repro.pipeline`:
    # Profile a benchmark's baseline kernel and print its advice report.
    gpa-advise --case rodinia/hotspot:strength_reduction
 
-   # Same, as JSON (for GUI ingestion).
-   gpa-advise --case ExaTENSOR:strength_reduction --json
+   # Same, as JSON (for GUI or service ingestion).
+   gpa-advise --case ExaTENSOR:strength_reduction --output json
 
    # Sweep the full case registry across 4 worker processes with an
-   # on-disk profile cache, on the Ampere machine model.
-   gpa-advise --all --jobs 4 --cache-dir .gpa-cache --arch sm_80
+   # on-disk profile cache, streaming one JSON line per finished case.
+   gpa-advise --all --jobs 4 --cache-dir .gpa-cache --output jsonl
 
    # Analyze an offline profile dumped by the profiler.
    gpa-advise --profile profile.json --cubin module.json
@@ -32,19 +35,18 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.advisor.report import AdviceReport, render_report
+from repro.advisor.report import render_report
+from repro.api.request import AdvisingRequest, request_for_case
+from repro.api.result import AdvisingResult, dump_jsonl
+from repro.api.session import AdvisingSession
 from repro.arch.machine import architecture_flags
 from repro.cubin.binary import Cubin
-from repro.pipeline.batch import (
-    BatchAdvisor,
-    BatchConfig,
-    advise_case_report,
-    error_summary,
-)
+from repro.pipeline.batch import error_summary
 from repro.pipeline.runner import ProgressEvent
 from repro.sampling.sample import KernelProfile
-from repro.structure.program import build_program_structure
 from repro.workloads.registry import case_by_name, case_names
+
+OUTPUT_FORMATS = ("text", "json", "jsonl")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,33 +74,53 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--top", type=int, default=5, help="number of optimizers to show")
     parser.add_argument("--sample-period", type=int, default=8,
                         help="PC sampling period in cycles")
-    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    parser.add_argument("--output", choices=OUTPUT_FORMATS, default=None,
+                        help="output format: the ASCII Figure 8 report (text, "
+                             "default), one JSON document (json), or one JSON "
+                             "line per result as it completes (jsonl)")
+    parser.add_argument("--json", action="store_true",
+                        help="deprecated alias for --output json")
     return parser
 
 
-def _batch_config(args: argparse.Namespace) -> BatchConfig:
-    """The one pipeline configuration both --case and --all run on."""
-    return BatchConfig(
-        arch_flag=args.arch,
+def _session(args: argparse.Namespace) -> AdvisingSession:
+    """The one advising session every CLI scope runs on."""
+    return AdvisingSession(
+        architecture=args.arch,
         sample_period=args.sample_period,
-        cache_dir=args.cache_dir,
+        cache=args.cache_dir,
         jobs=args.jobs,
     )
 
 
-def _report_for_case(args: argparse.Namespace) -> AdviceReport:
-    _, report = advise_case_report(_batch_config(args), args.case, args.optimized)
-    return report
-
-
-def _report_for_profile(args: argparse.Namespace) -> AdviceReport:
-    if not args.cubin:
-        raise SystemExit("--profile requires --cubin")
+def _request_for_args(args: argparse.Namespace) -> AdvisingRequest:
+    """The request described by --case or --profile/--cubin."""
+    if args.case:
+        return request_for_case(
+            args.case,
+            "optimized" if args.optimized else "baseline",
+            arch_flag=args.arch,
+        )
     profile = KernelProfile.from_json(Path(args.profile).read_text())
     cubin = Cubin.from_json(Path(args.cubin).read_text())
-    structure = build_program_structure(cubin)
-    gpa = _batch_config(args).build_gpa()
-    return gpa.analyze(profile, structure)
+    return AdvisingRequest(
+        source="profile", profile=profile, cubin=cubin,
+        label=str(args.profile),
+    )
+
+
+def _emit_single(result: AdvisingResult, args: argparse.Namespace) -> int:
+    """Render one result in the chosen output format."""
+    if args.output == "jsonl":
+        for line in dump_jsonl([result]):
+            print(line)
+        return 0 if result.ok else 1
+    report = result.require_report()
+    if args.output == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_report(report, top=args.top))
+    return 0
 
 
 def _progress_printer(stream):
@@ -125,27 +147,42 @@ def _progress_printer(stream):
 
 
 def _sweep_all(args: argparse.Namespace) -> int:
-    """Run the full-registry sweep through :class:`BatchAdvisor`."""
+    """Run the full-registry sweep through one session."""
     ids = case_names()
     if args.limit is not None:
         ids = ids[: args.limit]
-    advisor = BatchAdvisor(_batch_config(args))
-    results = advisor.advise(
-        ids, optimized=args.optimized, progress=_progress_printer(sys.stderr)
-    )
+    variant = "optimized" if args.optimized else "baseline"
+    session = _session(args)
+    requests = [request_for_case(case_id, variant, arch_flag=args.arch) for case_id in ids]
 
+    if args.output == "jsonl":
+        # Stream one compact JSON line per result, in completion order.
+        failures = 0
+        for result in session.stream(requests):
+            (line,) = dump_jsonl([result])
+            print(line, flush=True)
+            failures += 0 if result.ok else 1
+        return 1 if failures else 0
+
+    results = session.advise_many(requests, progress=_progress_printer(sys.stderr))
     failures = [result for result in results if not result.ok]
-    if args.json:
-        payload = [
-            {
-                "case": result.case_id,
+    if args.output == "json":
+        payload = []
+        for result in results:
+            entry = {
+                "case": result.label,
                 "ok": result.ok,
                 "duration": result.duration,
                 "error": result.error,
-                **(result.value or {}),
             }
-            for result in results
-        ]
+            if result.ok:
+                entry.update(
+                    kernel=result.report.kernel,
+                    variant=variant,
+                    arch=args.arch,
+                    report=result.report.to_dict(),
+                )
+            payload.append(entry)
         print(json.dumps(payload, indent=2))
     else:
         header = (
@@ -156,15 +193,13 @@ def _sweep_all(args: argparse.Namespace) -> int:
         print("-" * len(header))
         for result in results:
             if not result.ok:
-                print(f"{result.case_id:55s} FAILED: {error_summary(result.error)}")
+                print(f"{result.label:55s} FAILED: {error_summary(result.error)}")
                 continue
-            advice = [
-                item for item in result.value["report"]["advice"] if item["applicable"]
-            ]
-            top_name = advice[0]["optimizer"] if advice else "-"
-            top_speedup = advice[0]["estimated_speedup"] if advice else 1.0
+            applicable = [item for item in result.report.advice if item.applicable]
+            top_name = applicable[0].optimizer if applicable else "-"
+            top_speedup = applicable[0].estimated_speedup if applicable else 1.0
             print(
-                f"{result.case_id:55s} {result.value['kernel']:28s} {top_name:35s} "
+                f"{result.label:55s} {result.report.kernel:28s} {top_name:35s} "
                 f"{top_speedup:7.2f}x {result.duration:6.2f}s"
             )
         print(
@@ -172,7 +207,7 @@ def _sweep_all(args: argparse.Namespace) -> int:
             f"on {args.arch} ({args.jobs} job{'s' if args.jobs != 1 else ''})"
         )
         for result in failures:
-            print(f"\n{result.case_id} failed:\n{result.error}", file=sys.stderr)
+            print(f"\n{result.label} failed:\n{result.error}", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -181,16 +216,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.json and args.output not in (None, "json"):
+        parser.error("--json conflicts with --output; use --output alone")
+    if args.output is None:
+        args.output = "json" if args.json else "text"
+
     if args.all and args.case:
         parser.error("--case cannot be combined with --all (pick one scope)")
     if args.all and (args.profile or args.cubin):
         parser.error("--profile/--cubin cannot be combined with --all")
     if args.case and (args.profile or args.cubin):
         parser.error("--case cannot be combined with --profile/--cubin (pick one scope)")
+    if args.profile and not args.cubin:
+        parser.error("--profile requires --cubin")
     if args.limit is not None and not args.all:
         parser.error("--limit only applies to --all sweeps")
     if args.limit is not None and args.limit < 0:
         parser.error("--limit must be non-negative")
+    if args.top <= 0:
+        parser.error("--top must be positive")
+    if args.sample_period <= 0:
+        parser.error("--sample-period must be positive")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     if args.list:
         for name in case_names():
@@ -201,19 +249,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.all:
         return _sweep_all(args)
 
-    if args.case:
-        report = _report_for_case(args)
-    elif args.profile:
-        report = _report_for_profile(args)
-    else:
+    if not args.case and not args.profile:
         parser.print_help()
         return 2
 
-    if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
-    else:
-        print(render_report(report, top=args.top))
-    return 0
+    session = _session(args)
+    result = session.advise(_request_for_args(args))
+    if not result.ok and args.output != "jsonl":
+        # Fail loudly with the captured traceback, like the pre-API CLI did.
+        print(result.error, file=sys.stderr)
+        return 1
+    return _emit_single(result, args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -40,8 +40,18 @@ class AdviceReport:
         return None
 
     def to_dict(self) -> dict:
-        """A JSON-friendly description of the report."""
+        """A lossless JSON-friendly description (inverse: :meth:`from_dict`).
+
+        The ``statistics``/``totals``/``stalls_by_reason`` summaries are kept
+        for display consumers, but the full profile and the blame tree are
+        carried too, so a report dumped by a worker process reloads into an
+        equal report (same ranked advice, speedups and blame records).
+        """
+        from repro.api.schema import API_SCHEMA_VERSION
+
         return {
+            "schema_version": API_SCHEMA_VERSION,
+            "kind": "advice_report",
             "kernel": self.kernel,
             "statistics": self.profile.statistics.to_dict(),
             "totals": {
@@ -53,33 +63,27 @@ class AdviceReport:
             "stalls_by_reason": {
                 reason.value: count for reason, count in self.profile.stalls_by_reason().items()
             },
-            "advice": [
-                {
-                    "optimizer": item.optimizer,
-                    "category": item.category.value,
-                    "matched_samples": item.matched_samples,
-                    "ratio": item.ratio,
-                    "estimated_speedup": item.estimated_speedup,
-                    "applicable": item.applicable,
-                    "suggestions": list(item.suggestions),
-                    "details": item.details,
-                    "hotspots": [
-                        {
-                            "from": hotspot.source.describe(),
-                            "from_function": hotspot.source.function,
-                            "to": hotspot.dest.describe(),
-                            "to_function": hotspot.dest.function,
-                            "stalls": hotspot.stalls,
-                            "ratio": hotspot.ratio,
-                            "speedup": hotspot.speedup,
-                            "distance": hotspot.distance,
-                        }
-                        for hotspot in item.hotspots
-                    ],
-                }
-                for item in self.advice
-            ],
+            "profile": self.profile.to_dict(),
+            "blame": self.blame.to_dict(),
+            "advice": [item.to_dict() for item in self.advice],
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdviceReport":
+        """Rebuild a report dumped by :meth:`to_dict`.
+
+        ``dump -> load -> dump`` is a fixed point: the summary blocks are
+        recomputed from the reloaded profile, which round-trips exactly.
+        """
+        from repro.api.schema import check_envelope
+
+        payload = check_envelope(payload, "advice_report")
+        return cls(
+            kernel=payload["kernel"],
+            profile=KernelProfile.from_dict(payload["profile"]),
+            blame=BlameResult.from_dict(payload["blame"]),
+            advice=[OptimizationAdvice.from_dict(entry) for entry in payload["advice"]],
+        )
 
 
 def render_report(report: AdviceReport, top: int = 5, hotspots_per_advice: int = 5) -> str:

@@ -1,0 +1,70 @@
+"""repro.api — the versioned service-layer API.
+
+One declarative vocabulary for every way of running the advisor:
+
+* :class:`~repro.api.request.AdvisingRequest` — a validated description of
+  one advising job (a registry case, an inline binary, or an offline
+  profile), plus the knobs that change its outcome (architecture, sample
+  period, optimizer selection, cache policy).  Build one directly, or
+  fluently through :meth:`AdvisingRequest.builder`.
+* :class:`~repro.api.session.AdvisingSession` — owns the architecture, the
+  optimizer set and the profile cache once, and executes requests inline
+  (``advise``), as an ordered batch (``advise_many``) or as a stream of
+  results yielded in completion order from a process pool (``stream``).
+* :class:`~repro.api.result.AdvisingResult` — the typed outcome: the
+  request, the :class:`~repro.advisor.report.AdviceReport` (or the captured
+  traceback), and timing.  Requests and results serialize losslessly
+  (``to_dict``/``from_dict`` under :data:`API_SCHEMA_VERSION`), which is
+  also how they cross the process-pool boundary.
+
+Submodules are loaded lazily so that low layers (``repro.blame``,
+``repro.advisor``) can import :mod:`repro.api.schema` — a leaf — without
+pulling the whole session machinery into every interpreter.
+"""
+
+from __future__ import annotations
+
+from repro.api.schema import (
+    API_SCHEMA_VERSION,
+    ApiError,
+    ApiSchemaError,
+    ApiSerializationError,
+    ApiValidationError,
+)
+
+__all__ = [
+    "API_SCHEMA_VERSION",
+    "AdvisingRequest",
+    "AdvisingResult",
+    "AdvisingSession",
+    "ApiError",
+    "ApiSchemaError",
+    "ApiSerializationError",
+    "ApiValidationError",
+    "RequestBuilder",
+    "request_for_case",
+]
+
+_LAZY = {
+    "AdvisingRequest": ("repro.api.request", "AdvisingRequest"),
+    "RequestBuilder": ("repro.api.request", "RequestBuilder"),
+    "request_for_case": ("repro.api.request", "request_for_case"),
+    "AdvisingResult": ("repro.api.result", "AdvisingResult"),
+    "AdvisingSession": ("repro.api.session", "AdvisingSession"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

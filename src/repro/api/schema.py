@@ -1,0 +1,90 @@
+"""Schema plumbing of the versioned service-layer API.
+
+Every payload the API emits (:class:`~repro.api.request.AdvisingRequest`,
+:class:`~repro.api.result.AdvisingResult`,
+:class:`~repro.advisor.report.AdviceReport`,
+:class:`~repro.blame.attribution.BlameResult`) carries an explicit
+``schema_version`` so that a result dumped by one process — a pool worker, a
+service daemon, a remote runner — can be validated before it is reloaded by
+another.  Loaders are strict: a payload whose version or kind does not match
+raises :class:`ApiSchemaError` instead of silently misparsing.
+
+This module is a leaf: it imports nothing from :mod:`repro`, so any layer
+(blame, optimizers, advisor, pipeline) may use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Version of the request/result wire format.  Bump whenever a serialized
+#: field changes meaning or shape; loaders reject payloads from other
+#: versions.
+API_SCHEMA_VERSION = 1
+
+
+class ApiError(Exception):
+    """Base class of all service-layer API errors."""
+
+
+class ApiValidationError(ApiError, ValueError):
+    """A request (or builder state) failed validation."""
+
+
+class ApiSchemaError(ApiError, ValueError):
+    """A serialized payload has the wrong schema version or kind."""
+
+
+class ApiSerializationError(ApiError, ValueError):
+    """A value cannot be represented in the wire format (e.g. callables)."""
+
+
+def envelope(kind: str, payload: dict) -> dict:
+    """Wrap ``payload`` in the versioned envelope for ``kind``."""
+    return {"schema_version": API_SCHEMA_VERSION, "kind": kind, **payload}
+
+
+def check_envelope(payload: Any, kind: str) -> dict:
+    """Validate the envelope of a loaded payload and return it.
+
+    Raises :class:`ApiSchemaError` on a non-dict payload, a missing or
+    mismatched ``schema_version``, or the wrong ``kind``.
+    """
+    if not isinstance(payload, dict):
+        raise ApiSchemaError(
+            f"expected a serialized {kind} dict, got {type(payload).__name__}"
+        )
+    version = payload.get("schema_version")
+    if version != API_SCHEMA_VERSION:
+        raise ApiSchemaError(
+            f"cannot load {kind}: schema version {version!r} "
+            f"(this build speaks version {API_SCHEMA_VERSION})"
+        )
+    found = payload.get("kind")
+    if found != kind:
+        raise ApiSchemaError(f"expected a {kind!r} payload, got kind {found!r}")
+    return payload
+
+
+def canonical_json(value: Any, context: str = "value") -> Any:
+    """``value`` normalized to plain JSON types (dicts/lists/str/num/bool).
+
+    Serialization must be a fixed point of ``dump -> load -> dump``: a live
+    object and its reloaded twin must produce identical dictionaries.  Free-
+    form payloads (optimizer ``details``) may hold tuples or sets that JSON
+    silently turns into lists, so they are canonicalized at dump time.
+    Raises :class:`ApiSerializationError` for values JSON cannot express.
+    """
+    try:
+        return json.loads(json.dumps(value))
+    except (TypeError, ValueError) as exc:
+        raise ApiSerializationError(f"{context} is not JSON-serializable: {exc}") from exc
+
+
+def require_key(payload: dict, key: str, kind: str) -> Any:
+    """``payload[key]`` or a uniform :class:`ApiSchemaError`."""
+    try:
+        return payload[key]
+    except KeyError as exc:
+        raise ApiSchemaError(f"serialized {kind} is missing the {key!r} field") from exc

@@ -1,0 +1,370 @@
+"""The advising session: one configuration, every execution mode.
+
+An :class:`AdvisingSession` owns the things that used to be re-specified at
+every call site — the architecture model, the optimizer set, the sample
+period, the profile cache, the worker count — and executes declarative
+:class:`~repro.api.request.AdvisingRequest` objects against them:
+
+* :meth:`AdvisingSession.advise` — run one request inline; failures are
+  captured into the result, never raised;
+* :meth:`AdvisingSession.advise_many` — run a batch, results in submission
+  order;
+* :meth:`AdvisingSession.stream` — an iterator yielding typed
+  :class:`~repro.api.result.AdvisingResult` objects *as they complete*,
+  fanned across a :class:`~concurrent.futures.ProcessPoolExecutor` when the
+  session has ``jobs > 1`` and every request can be serialized.  Requests
+  and results cross the pool boundary in their ``to_dict`` wire form — the
+  same envelope a service daemon or a remote worker would speak.
+
+The session is the seam every façade now stands on: ``GPA``,
+``BatchAdvisor``, the CLI and the evaluation harnesses are thin adapters
+over it.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.advisor.report import AdviceReport
+from repro.api.request import AdvisingRequest
+from repro.api.result import AdvisingResult
+from repro.api.schema import ApiValidationError
+from repro.arch.machine import ArchitectureError, GpuArchitecture, VoltaV100, get_architecture
+from repro.optimizers.base import Optimizer
+from repro.optimizers.registry import OptimizerRegistry
+from repro.pipeline.cache import ProfileCache, coerce_cache
+from repro.pipeline.runner import ProgressCallback, ProgressEvent
+from repro.pipeline.stages import (
+    AnalyzeRequest,
+    AnalyzeStage,
+    ProfileRequest,
+    ProfileStage,
+    retarget,
+)
+from repro.sampling.profiler import ProfiledKernel, Profiler
+from repro.sampling.sample import KernelProfile
+from repro.structure.program import ProgramStructure, build_program_structure
+
+
+class AdvisingSession:
+    """Executes advising requests against one owned configuration."""
+
+    def __init__(
+        self,
+        architecture: Union[None, str, GpuArchitecture] = None,
+        optimizers: Optional[Iterable[Union[str, Optimizer]]] = None,
+        sample_period: int = 8,
+        cache: Union[None, str, ProfileCache] = None,
+        jobs: int = 1,
+    ):
+        if sample_period <= 0:
+            raise ApiValidationError(f"sample_period must be positive, got {sample_period}")
+        if jobs < 1:
+            raise ApiValidationError(f"jobs must be >= 1, got {jobs}")
+        if isinstance(architecture, str):
+            architecture = get_architecture(architecture)
+        self.architecture = architecture or VoltaV100
+        self.sample_period = sample_period
+        self.cache = coerce_cache(cache)
+        self.jobs = jobs
+
+        self._optimizer_names, resolved, self._optimizers_poolable = (
+            self._resolve_optimizers(optimizers)
+        )
+        self.optimizers: List[Optimizer] = resolved
+        self.registry = OptimizerRegistry(resolved)
+
+        # The default stage pair, shared with the `GPA` façade for
+        # backward-compatible attribute access.
+        self.profiler = Profiler(self.architecture, sample_period=sample_period)
+        self.profile_stage = ProfileStage(profiler=self.profiler, cache=self.cache)
+        self.analyze_stage = AnalyzeStage(self.architecture, self.optimizers)
+        self._profile_stages: Dict[Tuple[int, bool], ProfileStage] = {}
+        self._analyze_stages: Dict[Tuple[str, Optional[Tuple[str, ...]]], AnalyzeStage] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_optimizers(
+        optimizers: Optional[Iterable[Union[str, Optimizer]]],
+    ) -> Tuple[Optional[Tuple[str, ...]], List[Optimizer], bool]:
+        """(names, instances, poolable) for the ``optimizers`` argument.
+
+        ``None`` keeps the default Table 2 set; a list of names selects from
+        the defaults (still expressible as primitives, so pool dispatch
+        stays available); custom :class:`Optimizer` instances are used as
+        given but pin the session to inline execution.
+        """
+        from repro.optimizers.registry import default_optimizers
+
+        if optimizers is None:
+            return None, default_optimizers(), True
+        items = list(optimizers)
+        if not items:
+            raise ApiValidationError(
+                "optimizers must name at least one optimizer (or be None "
+                "for the default Table 2 set)"
+            )
+        if all(isinstance(item, str) for item in items):
+            defaults = OptimizerRegistry(default_optimizers())
+            try:
+                return tuple(items), [defaults.get(name) for name in items], True
+            except KeyError as exc:
+                raise ApiValidationError(str(exc)) from exc
+        return None, items, False
+
+    @property
+    def arch_flag(self) -> str:
+        return self.architecture.arch_flag
+
+    # ------------------------------------------------------------------
+    # Stage selection
+    # ------------------------------------------------------------------
+    def _profile_stage_for(self, request: AdvisingRequest) -> ProfileStage:
+        period = request.sample_period or self.sample_period
+        cached = request.cache_policy != "bypass"
+        if period == self.sample_period and cached:
+            return self.profile_stage
+        key = (period, cached)
+        stage = self._profile_stages.get(key)
+        if stage is None:
+            stage = ProfileStage(
+                architecture=self.architecture,
+                sample_period=period,
+                cache=self.cache if cached else None,
+            )
+            self._profile_stages[key] = stage
+        return stage
+
+    def _analyze_stage_for(self, request: AdvisingRequest) -> AnalyzeStage:
+        arch_flag = request.arch_flag or self.arch_flag
+        if arch_flag == self.arch_flag and request.optimizers is None:
+            return self.analyze_stage
+        key = (arch_flag, request.optimizers)
+        stage = self._analyze_stages.get(key)
+        if stage is None:
+            architecture = (
+                self.architecture if arch_flag == self.arch_flag
+                else get_architecture(arch_flag)
+            )
+            if request.optimizers is None:
+                selected = self.optimizers
+            else:
+                selected = [self.registry.get(name) for name in request.optimizers]
+            stage = AnalyzeStage(architecture, selected)
+            self._analyze_stages[key] = stage
+        return stage
+
+    # ------------------------------------------------------------------
+    # Single-request execution
+    # ------------------------------------------------------------------
+    def profile(self, request: AdvisingRequest) -> ProfiledKernel:
+        """Run the profiling stage of a case/binary request."""
+        if request.source == "profile":
+            raise ApiValidationError(
+                "a profile-source request carries its profile already; "
+                "nothing to simulate"
+            )
+        cubin, kernel, config, workload = self._resolve_setup(request)
+        if request.arch_flag is not None:
+            cubin = retarget(cubin, request.arch_flag)
+        stage = self._profile_stage_for(request)
+        profile_request = ProfileRequest(
+            cubin=cubin, kernel=kernel, config=config, workload=workload
+        )
+        if request.cache_policy == "refresh" and stage.cache is not None:
+            stage.cache.invalidate(stage.cache_key(profile_request))
+        return stage.run(profile_request)
+
+    def analyze(self, profile: KernelProfile, structure: ProgramStructure) -> AdviceReport:
+        """Run the analysis stage on an existing profile."""
+        return self.analyze_stage.run(AnalyzeRequest(profile=profile, structure=structure))
+
+    def advise_profiled(self, profiled: ProfiledKernel) -> AdviceReport:
+        """Analyze an already-profiled kernel launch."""
+        return self.analyze(profiled.profile, profiled.structure)
+
+    def advise(self, request: AdvisingRequest, index: int = 0) -> AdvisingResult:
+        """Execute one request inline; failures land in ``result.error``."""
+        label = request.describe()
+        arch_flag = request.arch_flag or self.arch_flag
+        period = request.sample_period or self.sample_period
+        started = time.perf_counter()
+        try:
+            if request.source == "profile":
+                structure = build_program_structure(request.cubin)
+                stage = self._analyze_stage_for(request)
+                report = stage.run(
+                    AnalyzeRequest(profile=request.profile, structure=structure)
+                )
+            else:
+                profiled = self.profile(request)
+                stage = self._analyze_stage_for(request)
+                report = stage.run(
+                    AnalyzeRequest(profile=profiled.profile, structure=profiled.structure)
+                )
+        except Exception:
+            return AdvisingResult(
+                request=request, index=index, label=label,
+                arch_flag=arch_flag, sample_period=period,
+                error=traceback.format_exc(),
+                duration=time.perf_counter() - started,
+            )
+        return AdvisingResult(
+            request=request, index=index, label=label,
+            arch_flag=arch_flag, sample_period=period,
+            report=report, duration=time.perf_counter() - started,
+        )
+
+    def report_for(self, request: AdvisingRequest) -> AdviceReport:
+        """The report of one request, raising on failure."""
+        return self.advise(request).require_report()
+
+    @staticmethod
+    def _resolve_setup(request: AdvisingRequest):
+        if request.source == "binary":
+            return request.cubin, request.kernel, request.config, request.workload
+        # Imported lazily: resolving a case id constructs the full benchmark
+        # registry, which sessions over inline binaries never need.
+        from repro.pipeline.batch import resolve_case
+
+        case = resolve_case(request.case_id)
+        setup = (
+            case.build_optimized()
+            if request.variant == "optimized"
+            else case.build_baseline()
+        )
+        return setup.cubin, setup.kernel, setup.config, setup.workload
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def advise_many(
+        self,
+        requests: Sequence[AdvisingRequest],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[AdvisingResult]:
+        """Execute every request; results come back in submission order."""
+        results = list(self.stream(requests, progress=progress))
+        results.sort(key=lambda result: result.index)
+        return results
+
+    def stream(
+        self,
+        requests: Sequence[AdvisingRequest],
+        progress: Optional[ProgressCallback] = None,
+    ) -> Iterator[AdvisingResult]:
+        """Yield results in *completion* order (``result.index`` keeps the
+        submission position).
+
+        With ``jobs > 1`` and serializable requests the batch fans out
+        across a process pool and results are yielded as workers finish;
+        otherwise requests run inline, in order.  Pool-mode progress emits
+        each request's start/done events as an adjacent pair at collection
+        time (a worker's start cannot be observed live).
+        """
+        requests = list(requests)
+        if self.jobs > 1 and len(requests) > 1:
+            config = self._pool_config()
+            payloads = self._serialized(requests) if config is not None else None
+            if payloads is not None:
+                yield from self._stream_pool(config, payloads, requests, progress)
+                return
+        yield from self._stream_inline(requests, progress)
+
+    # ------------------------------------------------------------------
+    def _stream_inline(self, requests, progress) -> Iterator[AdvisingResult]:
+        emit = progress if progress is not None else (lambda event: None)
+        total = len(requests)
+        for index, request in enumerate(requests):
+            label = request.describe()
+            emit(ProgressEvent(label, index, total, "start"))
+            result = self.advise(request, index=index)
+            status = "done" if result.ok else "error"
+            emit(ProgressEvent(label, index, total, status, result.duration, result.error))
+            yield result
+
+    def _stream_pool(self, config, payloads, requests, progress) -> Iterator[AdvisingResult]:
+        emit = progress if progress is not None else (lambda event: None)
+        total = len(requests)
+        workers = min(self.jobs, total)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_pool_advise, config, payload, index): index
+                for index, payload in enumerate(payloads)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                request = requests[index]
+                label = request.describe()
+                try:
+                    result = AdvisingResult.from_dict(future.result())
+                except Exception:
+                    # Pool-level failure: the worker process died or the
+                    # payload could not cross the boundary.
+                    result = AdvisingResult(
+                        request=request, index=index, label=label,
+                        arch_flag=request.arch_flag or self.arch_flag,
+                        sample_period=request.sample_period or self.sample_period,
+                        error=traceback.format_exc(),
+                    )
+                emit(ProgressEvent(label, index, total, "start"))
+                status = "done" if result.ok else "error"
+                emit(
+                    ProgressEvent(
+                        label, index, total, status, result.duration, result.error
+                    )
+                )
+                yield result
+
+    # ------------------------------------------------------------------
+    def _pool_config(self) -> Optional[dict]:
+        """The session as primitives for worker processes, or ``None``.
+
+        ``None`` means the session cannot be rebuilt from primitives (a
+        custom optimizer instance, an unregistered architecture model, an
+        in-memory cache) and the batch must run inline.
+        """
+        if not self._optimizers_poolable:
+            return None
+        try:
+            if get_architecture(self.arch_flag) != self.architecture:
+                return None
+        except ArchitectureError:
+            return None
+        return {
+            "arch_flag": self.arch_flag,
+            "sample_period": self.sample_period,
+            "cache_dir": str(self.cache.directory) if self.cache is not None else None,
+            "optimizer_names": (
+                list(self._optimizer_names) if self._optimizer_names else None
+            ),
+        }
+
+    @staticmethod
+    def _serialized(requests: Sequence[AdvisingRequest]) -> Optional[List[dict]]:
+        """Wire forms of all requests, or ``None`` if any cannot cross."""
+        from repro.api.schema import ApiSerializationError
+
+        payloads = []
+        for request in requests:
+            try:
+                payloads.append(request.to_dict())
+            except ApiSerializationError:
+                return None
+        return payloads
+
+
+def _pool_advise(config: dict, payload: dict, index: int) -> dict:
+    """Worker: rebuild the session from primitives and run one request."""
+    session = AdvisingSession(
+        architecture=config["arch_flag"],
+        optimizers=config["optimizer_names"],
+        sample_period=config["sample_period"],
+        cache=config["cache_dir"],
+        jobs=1,
+    )
+    request = AdvisingRequest.from_dict(payload)
+    return session.advise(request, index=index).to_dict()

@@ -59,6 +59,29 @@ class BlamedEdge:
     def is_self_blame(self) -> bool:
         return self.source == self.dest
 
+    def to_dict(self) -> dict:
+        return {
+            "source": list(self.source),
+            "dest": list(self.dest),
+            "reason": self.reason.value,
+            "detail": self.detail.value,
+            "stalls": self.stalls,
+            "distance": self.distance,
+            "source_issue_samples": self.source_issue_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BlamedEdge":
+        return cls(
+            source=(payload["source"][0], payload["source"][1]),
+            dest=(payload["dest"][0], payload["dest"][1]),
+            reason=StallReason(payload["reason"]),
+            detail=DetailedStallReason(payload["detail"]),
+            stalls=payload["stalls"],
+            distance=payload.get("distance"),
+            source_issue_samples=payload.get("source_issue_samples", 0),
+        )
+
 
 @dataclass
 class BlameResult:
@@ -101,6 +124,44 @@ class BlameResult:
             reverse=True,
         )
         return ranked[:count]
+
+    # ------------------------------------------------------------------
+    # Serialization (results must cross process and service boundaries)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A lossless JSON-friendly form of the blame tree.
+
+        The attribution records (:class:`BlamedEdge`) and the pruning
+        statistics round-trip exactly; the dependency graph is dumped in its
+        detached form (see :meth:`DependencyGraph.to_dict`).  The ``blamed``
+        aggregate is *not* serialized: :meth:`from_dict` rebuilds it by
+        replaying the edges through :meth:`add`, in order, so the float
+        accumulation is reproduced exactly.
+        """
+        from repro.api.schema import API_SCHEMA_VERSION
+
+        return {
+            "schema_version": API_SCHEMA_VERSION,
+            "kind": "blame_result",
+            "kernel": self.kernel,
+            "graph": self.graph.to_dict(),
+            "pruning": self.pruning.to_dict(),
+            "edges": [edge.to_dict() for edge in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BlameResult":
+        from repro.api.schema import check_envelope
+
+        payload = check_envelope(payload, "blame_result")
+        result = cls(
+            kernel=payload["kernel"],
+            graph=DependencyGraph.from_dict(payload["graph"]),
+            pruning=PruningStatistics.from_dict(payload["pruning"]),
+        )
+        for entry in payload["edges"]:
+            result.add(BlamedEdge.from_dict(entry))
+        return result
 
 
 class InstructionBlamer:

@@ -26,7 +26,9 @@ class DependencyNode:
 
     function: str
     offset: int
-    instruction: Instruction
+    #: ``None`` only on graphs reloaded from :meth:`DependencyGraph.from_dict`
+    #: (the instruction objects live in the binary and are not serialized).
+    instruction: Optional[Instruction]
     #: Latency-sample stall counts by reason at this instruction.
     stalls: Dict[StallReason, int] = field(default_factory=dict)
     #: Active samples in which this instruction was issuing.
@@ -131,6 +133,62 @@ class DependencyGraph:
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Serialization.  The dumped form is *detached*: nodes keep their
+    # sample annotations and edges their resources, but the Instruction
+    # objects (which live in the binary, not the graph) are not carried —
+    # a reloaded graph supports topology and sample queries, not
+    # re-attribution.  ``dump -> load -> dump`` is a fixed point.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "nodes": [
+                {
+                    "function": node.function,
+                    "offset": node.offset,
+                    "stalls": {reason.value: count for reason, count in node.stalls.items()},
+                    "issue_samples": node.issue_samples,
+                }
+                for node in self.nodes.values()
+            ],
+            "edges": [
+                {
+                    "source": list(edge.source),
+                    "dest": list(edge.dest),
+                    "resources": [list(resource) for resource in sorted(edge.resources)],
+                }
+                for edge in self.edges
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DependencyGraph":
+        graph = cls()
+        for entry in payload["nodes"]:
+            graph.add_node(
+                DependencyNode(
+                    function=entry["function"],
+                    offset=entry["offset"],
+                    instruction=None,
+                    stalls={
+                        StallReason(reason): count
+                        for reason, count in entry["stalls"].items()
+                    },
+                    issue_samples=entry["issue_samples"],
+                )
+            )
+        for entry in payload["edges"]:
+            graph.add_edge(
+                DependencyEdge(
+                    source=(entry["source"][0], entry["source"][1]),
+                    dest=(entry["dest"][0], entry["dest"][1]),
+                    resources=frozenset(
+                        (resource[0], resource[1]) for resource in entry["resources"]
+                    ),
+                )
+            )
+        return graph
 
 
 def build_dependency_graph(

@@ -54,6 +54,23 @@ class PruningStatistics:
     def remaining_edges(self) -> int:
         return self.total_edges - self.removed_total
 
+    def to_dict(self) -> dict:
+        return {
+            "total_edges": self.total_edges,
+            "removed_by_opcode": self.removed_by_opcode,
+            "removed_by_dominator": self.removed_by_dominator,
+            "removed_by_latency": self.removed_by_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PruningStatistics":
+        return cls(
+            total_edges=payload["total_edges"],
+            removed_by_opcode=payload["removed_by_opcode"],
+            removed_by_dominator=payload["removed_by_dominator"],
+            removed_by_latency=payload["removed_by_latency"],
+        )
+
 
 def edge_supports_reason(
     source_instruction: Instruction, reason: StallReason

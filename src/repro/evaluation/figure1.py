@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.arch.machine import get_architecture
+from repro.api.request import AdvisingRequest
+from repro.api.session import AdvisingSession
 from repro.cubin.builder import CubinBuilder, imm, p
-from repro.pipeline.stages import ProfileRequest, ProfileStage, retarget
 from repro.sampling.sample import LaunchConfig
 from repro.sampling.workload import WorkloadSpec
 
@@ -57,20 +57,22 @@ def sampling_model_demo(
     """Run the Figure 1 demonstration and return its sample statistics.
 
     The demo runs the profiling stage alone — the analyzer is not involved —
-    so it exercises :class:`~repro.pipeline.stages.ProfileStage` directly.
+    so it drives :meth:`AdvisingSession.profile
+    <repro.api.session.AdvisingSession.profile>` with a binary-source
+    request.
     """
     builder = _toy_kernel()
-    stage = ProfileStage(
-        architecture=get_architecture(arch_flag),
-        sample_period=sample_period,
-        cache=cache_dir,
+    session = AdvisingSession(
+        architecture=arch_flag, sample_period=sample_period, cache=cache_dir
     )
-    profiled = stage.run(
-        ProfileRequest(
-            cubin=retarget(builder.build(), arch_flag),
+    profiled = session.profile(
+        AdvisingRequest(
+            source="binary",
+            cubin=builder.build(),
             kernel="mixed_kernel",
             config=LaunchConfig(grid_blocks=320, threads_per_block=128),
             workload=WorkloadSpec(loop_trip_counts={5: 12}),
+            arch_flag=arch_flag,
         )
     )
     profile = profiled.profile

@@ -18,7 +18,6 @@ from repro.blame.graph import build_dependency_graph
 from repro.blame.pruning import prune_cold_edges
 from repro.pipeline.batch import BatchAdvisor, BatchConfig, resolve_case
 from repro.pipeline.runner import ProgressCallback
-from repro.pipeline.stages import retarget
 from repro.workloads.base import BenchmarkCase
 from repro.workloads.registry import rodinia_cases
 
@@ -38,11 +37,13 @@ class CoverageRow:
 
 def coverage_case_worker(config: BatchConfig, case_or_id) -> CoverageRow:
     """Batch worker: the coverage row of one benchmark's baseline kernel."""
+    from repro.api.request import request_for_case
+
     case = resolve_case(case_or_id)
-    gpa = config.build_gpa()
-    setup = case.build_baseline()
-    cubin = retarget(setup.cubin, config.arch_flag)
-    profiled = gpa.profile(cubin, setup.kernel, setup.config, setup.workload)
+    session = config.build_session()
+    profiled = session.profile(
+        request_for_case(case, "baseline", arch_flag=config.arch_flag)
+    )
     graph = build_dependency_graph(profiled.profile, profiled.structure)
     before = single_dependency_coverage(graph)
     edges_before = len(graph.edges)

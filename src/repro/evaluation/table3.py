@@ -18,7 +18,7 @@ speedups and their ordering are meaningful for comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.advisor.advisor import GPA
 from repro.evaluation.metrics import geometric_mean
@@ -31,6 +31,9 @@ from repro.pipeline.batch import (
 from repro.pipeline.runner import ProgressCallback
 from repro.workloads.base import BenchmarkCase
 from repro.workloads.registry import all_cases
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.session import AdvisingSession
 
 
 @dataclass
@@ -102,10 +105,21 @@ def evaluate_case(
     case: BenchmarkCase,
     gpa: Optional[GPA] = None,
     sample_period: int = 8,
+    session: Optional["AdvisingSession"] = None,
 ) -> Table3Row:
-    """Evaluate one Table 3 row (profile baseline, advise, profile optimized)."""
-    gpa = gpa or GPA(sample_period=sample_period)
-    return _row_from_outcome(case, evaluate_case_outcome(case, gpa))
+    """Evaluate one Table 3 row (profile baseline, advise, profile optimized).
+
+    ``session`` is the preferred engine; the legacy ``gpa`` argument is kept
+    for compatibility (its internal session is used).
+    """
+    if session is None:
+        if gpa is not None:
+            session = gpa.session
+        else:
+            from repro.api.session import AdvisingSession
+
+            session = AdvisingSession(sample_period=sample_period)
+    return _row_from_outcome(case, evaluate_case_outcome(case, session))
 
 
 def evaluate_table3(

@@ -53,6 +53,28 @@ class Hotspot:
         ]
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """Full structured form (the ``describe`` strings are derivable)."""
+        return {
+            "source": self.source.to_dict(),
+            "dest": self.dest.to_dict(),
+            "stalls": self.stalls,
+            "ratio": self.ratio,
+            "speedup": self.speedup,
+            "distance": self.distance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Hotspot":
+        return cls(
+            source=SourceLocation.from_dict(payload["source"]),
+            dest=SourceLocation.from_dict(payload["dest"]),
+            stalls=payload["stalls"],
+            ratio=payload["ratio"],
+            speedup=payload["speedup"],
+            distance=payload.get("distance"),
+        )
+
 
 @dataclass
 class OptimizationAdvice:
@@ -79,6 +101,42 @@ class OptimizationAdvice:
 
     def __lt__(self, other: "OptimizationAdvice") -> bool:
         return self.estimated_speedup < other.estimated_speedup
+
+    def to_dict(self) -> dict:
+        """A lossless JSON-friendly form (inverse: :meth:`from_dict`).
+
+        ``details`` is canonicalized to plain JSON types at dump time so a
+        reloaded advice re-dumps to an identical dictionary (tuples an
+        optimizer stored would otherwise reload as lists and break the
+        fixed point).
+        """
+        from repro.api.schema import canonical_json
+
+        return {
+            "optimizer": self.optimizer,
+            "category": self.category.value,
+            "matched_samples": self.matched_samples,
+            "ratio": self.ratio,
+            "estimated_speedup": self.estimated_speedup,
+            "applicable": self.applicable,
+            "suggestions": list(self.suggestions),
+            "details": canonical_json(self.details, context=f"{self.optimizer} details"),
+            "hotspots": [hotspot.to_dict() for hotspot in self.hotspots],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OptimizationAdvice":
+        return cls(
+            optimizer=payload["optimizer"],
+            category=OptimizerCategory(payload["category"]),
+            matched_samples=payload["matched_samples"],
+            ratio=payload["ratio"],
+            estimated_speedup=payload["estimated_speedup"],
+            applicable=payload.get("applicable", True),
+            suggestions=tuple(payload.get("suggestions") or ()),
+            hotspots=[Hotspot.from_dict(entry) for entry in payload.get("hotspots") or []],
+            details=payload.get("details") or {},
+        )
 
 
 @dataclass

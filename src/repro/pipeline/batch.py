@@ -15,9 +15,15 @@ twice; the seed code swept them in a sequential Python loop.
   case objects that are not in the registry automatically fall back to the
   inline sequential path.
 
-Workers rebuild their own :class:`~repro.advisor.advisor.GPA` from a
+Workers rebuild their own :class:`~repro.api.session.AdvisingSession` from a
 :class:`BatchConfig` of primitives (architecture flag, sample period, cache
 directory), so every process shares the on-disk profile cache.
+
+Since the service-layer API landed, :meth:`BatchAdvisor.advise` is a
+deprecated adapter over :meth:`AdvisingSession.advise_many
+<repro.api.session.AdvisingSession.advise_many>`; the generic
+``run``/``run_cases`` fan-out remains the driver for custom per-case
+computations (Table 3 outcomes, Figure 7 coverage rows).
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 import functools
 import time
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Union
@@ -36,8 +43,6 @@ from repro.pipeline.runner import (
     ProgressCallback,
     ProgressEvent,
 )
-from repro.pipeline.stages import retarget
-
 if TYPE_CHECKING:  # pragma: no cover
     from repro.workloads.base import BenchmarkCase
 
@@ -60,7 +65,25 @@ class BatchConfig:
     def architecture(self) -> GpuArchitecture:
         return get_architecture(self.arch_flag)
 
+    def build_session(self):
+        """The :class:`~repro.api.session.AdvisingSession` this config describes."""
+        from repro.api.session import AdvisingSession
+
+        return AdvisingSession(
+            architecture=self.architecture,
+            sample_period=self.sample_period,
+            cache=self.cache_dir,
+            jobs=self.jobs,
+        )
+
     def build_gpa(self):
+        """Deprecated: use :meth:`build_session`."""
+        warnings.warn(
+            "BatchConfig.build_gpa is deprecated; use BatchConfig.build_session "
+            "(see docs/MIGRATION.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.advisor.advisor import GPA
 
         return GPA(
@@ -118,31 +141,28 @@ def _is_registry_case(case: "BenchmarkCase") -> bool:
 # parallel and sequential paths cannot drift apart)
 # ----------------------------------------------------------------------
 def evaluate_case_outcome(
-    case: BenchmarkCase, gpa, arch_flag: Optional[str] = None
+    case: BenchmarkCase, session, arch_flag: Optional[str] = None
 ) -> dict:
     """The Table 3 computation for one case, as a picklable plain dict.
 
     Profiles the baseline, runs the analyzer on it, profiles the
     hand-optimized variant, and derives the achieved/estimated speedups,
-    the estimate error and the matched optimizer's rank.
+    the estimate error and the matched optimizer's rank.  ``session`` is an
+    :class:`~repro.api.session.AdvisingSession`; a legacy ``GPA`` facade is
+    accepted and unwrapped.
     """
     # Imported here: the evaluation package's __init__ pulls in the table3
     # harness, which itself builds on this module.
+    from repro.api.request import request_for_case
     from repro.evaluation.metrics import relative_error
 
-    baseline = case.build_baseline()
-    optimized = case.build_optimized()
-    baseline_cubin = retarget(baseline.cubin, arch_flag) if arch_flag else baseline.cubin
-    optimized_cubin = (
-        retarget(optimized.cubin, arch_flag) if arch_flag else optimized.cubin
+    session = getattr(session, "session", session)
+    profiled_baseline = session.profile(
+        request_for_case(case, "baseline", arch_flag=arch_flag)
     )
-
-    profiled_baseline = gpa.profile(
-        baseline_cubin, baseline.kernel, baseline.config, baseline.workload
-    )
-    report = gpa.advise_profiled(profiled_baseline)
-    profiled_optimized = gpa.profile(
-        optimized_cubin, optimized.kernel, optimized.config, optimized.workload
+    report = session.advise_profiled(profiled_baseline)
+    profiled_optimized = session.profile(
+        request_for_case(case, "optimized", arch_flag=arch_flag)
     )
 
     baseline_cycles = profiled_baseline.kernel_cycles
@@ -174,13 +194,18 @@ def advise_case_report(config: BatchConfig, case_or_id, optimized: bool = False)
     """Profile + analyze one case variant; returns (case, report).
 
     The one resolve → retarget → advise sequence shared by the batch
-    workers and the CLI's single-case path.
+    workers and the CLI's single-case path, now expressed as an advising
+    request against the config's session.
     """
+    from repro.api.request import request_for_case
+
     case = resolve_case(case_or_id)
-    setup = case.build_optimized() if optimized else case.build_baseline()
-    cubin = retarget(setup.cubin, config.arch_flag)
-    gpa = config.build_gpa()
-    return case, gpa.advise(cubin, setup.kernel, setup.config, setup.workload)
+    session = config.build_session()
+    request = request_for_case(
+        case, "optimized" if optimized else "baseline", arch_flag=config.arch_flag
+    )
+    profiled = session.profile(request)
+    return case, session.advise_profiled(profiled)
 
 
 def advise_case(config: BatchConfig, payload) -> dict:
@@ -199,8 +224,8 @@ def advise_case(config: BatchConfig, payload) -> dict:
 def table3_case_worker(config: BatchConfig, case_or_id) -> dict:
     """Worker: one Table 3 row outcome."""
     case = resolve_case(case_or_id)
-    gpa = config.build_gpa()
-    return evaluate_case_outcome(case, gpa, arch_flag=config.arch_flag)
+    session = config.build_session()
+    return evaluate_case_outcome(case, session, arch_flag=config.arch_flag)
 
 
 def _pool_call(worker: CaseWorker, config: BatchConfig, payload):
@@ -276,12 +301,54 @@ class BatchAdvisor:
         optimized: bool = False,
         progress: Optional[ProgressCallback] = None,
     ) -> List[BatchResult]:
-        """Advise every named case (default: the full registry)."""
+        """Advise every named case (default: the full registry).
+
+        .. deprecated:: 1.1
+           Build :class:`~repro.api.request.AdvisingRequest` objects and use
+           :meth:`AdvisingSession.advise_many
+           <repro.api.session.AdvisingSession.advise_many>` (ordered) or
+           :meth:`~repro.api.session.AdvisingSession.stream` (results as
+           they complete).  This shim adapts the session results back into
+           the legacy ``BatchResult`` dict shape.
+        """
+        warnings.warn(
+            "BatchAdvisor.advise is deprecated; use AdvisingSession.advise_many "
+            "or AdvisingSession.stream (see docs/MIGRATION.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.request import request_for_case
         from repro.workloads.registry import case_names
 
         ids = list(case_ids) if case_ids is not None else case_names()
-        payloads = [(case_id, optimized) for case_id in ids]
-        return self.run(advise_case, payloads, labels=ids, progress=progress)
+        variant = "optimized" if optimized else "baseline"
+        session = self.config.build_session()
+        requests = [
+            request_for_case(case_id, variant, arch_flag=self.config.arch_flag)
+            for case_id in ids
+        ]
+        results = session.advise_many(requests, progress=progress)
+        batch: List[BatchResult] = []
+        for result in results:
+            value = None
+            if result.ok:
+                value = {
+                    "case": ids[result.index],
+                    "kernel": result.report.kernel,
+                    "variant": variant,
+                    "arch": self.config.arch_flag,
+                    "report": result.report.to_dict(),
+                }
+            batch.append(
+                BatchResult(
+                    index=result.index,
+                    case_id=ids[result.index],
+                    value=value,
+                    error=result.error,
+                    duration=result.duration,
+                )
+            )
+        return batch
 
     def evaluate_table3(
         self,

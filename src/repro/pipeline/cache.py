@@ -376,6 +376,18 @@ class ProfileCache:
         self.stores += 1
         return path
 
+    def invalidate(self, key: str) -> bool:
+        """Drop the entry for ``key`` (the API's ``refresh`` cache policy).
+
+        Returns whether an entry existed; racing with another process's
+        removal counts as "did not exist".
+        """
+        try:
+            self.path_for(key).unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed.
 

@@ -107,6 +107,21 @@ class LaunchConfig:
     def with_threads(self, threads_per_block: int) -> "LaunchConfig":
         return LaunchConfig(self.grid_blocks, threads_per_block, self.shared_memory_bytes)
 
+    def to_dict(self) -> dict:
+        return {
+            "grid_blocks": self.grid_blocks,
+            "threads_per_block": self.threads_per_block,
+            "shared_memory_bytes": self.shared_memory_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LaunchConfig":
+        return cls(
+            grid_blocks=payload["grid_blocks"],
+            threads_per_block=payload["threads_per_block"],
+            shared_memory_bytes=payload.get("shared_memory_bytes", 0),
+        )
+
 
 @dataclass
 class LaunchStatistics:

@@ -93,6 +93,69 @@ class WorkloadSpec:
         return random.Random((self.seed * 1000003 + warp_id) & 0xFFFFFFFF)
 
     # ------------------------------------------------------------------
+    # Serialization (requests carrying workloads cross process boundaries)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-friendly form (inverse: :meth:`from_dict`).
+
+        Callable trip counts describe behaviour, not data, and cannot cross
+        a serialization boundary; a spec holding one raises
+        :class:`~repro.api.schema.ApiSerializationError` — send such
+        workloads through the inline path (or a registry case id) instead.
+        """
+        from repro.api.schema import ApiSerializationError
+
+        trip_counts = {}
+        for line, value in self.loop_trip_counts.items():
+            if callable(value):
+                raise ApiSerializationError(
+                    f"workload {self.name!r} has a callable trip count for loop "
+                    f"line {line}; callable workload parameters cannot be "
+                    "serialized — use a registry case or the inline path"
+                )
+            trip_counts[str(line)] = int(value)
+        return {
+            "name": self.name,
+            "loop_trip_counts": trip_counts,
+            "default_trip_count": self.default_trip_count,
+            "branch_taken": {str(line): prob for line, prob in self.branch_taken.items()},
+            "default_branch_taken": self.default_branch_taken,
+            "call_targets": {str(line): name for line, name in self.call_targets.items()},
+            "uncoalesced_lines": sorted(self.uncoalesced_lines),
+            "uncoalesced_transactions": self.uncoalesced_transactions,
+            "memory_latency_scale": self.memory_latency_scale,
+            "constant_latency_scale": self.constant_latency_scale,
+            "shared_latency_scale": self.shared_latency_scale,
+            "seed": self.seed,
+            "max_trace_ops": self.max_trace_ops,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadSpec":
+        return cls(
+            name=payload.get("name", "default"),
+            loop_trip_counts={
+                int(line): count
+                for line, count in (payload.get("loop_trip_counts") or {}).items()
+            },
+            default_trip_count=payload.get("default_trip_count", 4),
+            branch_taken={
+                int(line): prob for line, prob in (payload.get("branch_taken") or {}).items()
+            },
+            default_branch_taken=payload.get("default_branch_taken", 0.5),
+            call_targets={
+                int(line): name for line, name in (payload.get("call_targets") or {}).items()
+            },
+            uncoalesced_lines=set(payload.get("uncoalesced_lines") or ()),
+            uncoalesced_transactions=payload.get("uncoalesced_transactions", 8),
+            memory_latency_scale=payload.get("memory_latency_scale", 1.0),
+            constant_latency_scale=payload.get("constant_latency_scale", 1.0),
+            shared_latency_scale=payload.get("shared_latency_scale", 1.0),
+            seed=payload.get("seed", 2021),
+            max_trace_ops=payload.get("max_trace_ops", 20000),
+        )
+
+    # ------------------------------------------------------------------
     # Derivation helpers used by optimization transforms
     # ------------------------------------------------------------------
     def copy(self, **overrides) -> "WorkloadSpec":

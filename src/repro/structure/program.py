@@ -37,6 +37,28 @@ class SourceLocation:
             location += f" (inlined from {' <- '.join(self.inline_stack)})"
         return location
 
+    def to_dict(self) -> dict:
+        """A JSON-friendly description carrying every field."""
+        return {
+            "function": self.function,
+            "offset": self.offset,
+            "file": self.file,
+            "line": self.line,
+            "inline_stack": list(self.inline_stack),
+            "loop_line": self.loop_line,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SourceLocation":
+        return cls(
+            function=payload["function"],
+            offset=payload["offset"],
+            file=payload.get("file"),
+            line=payload.get("line"),
+            inline_stack=tuple(payload.get("inline_stack") or ()),
+            loop_line=payload.get("loop_line"),
+        )
+
 
 @dataclass
 class FunctionStructure:

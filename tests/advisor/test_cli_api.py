@@ -1,0 +1,81 @@
+"""CLI tests for the service-layer surface: --output formats and validation."""
+
+import json
+
+import pytest
+
+from repro.advisor.cli import main as cli_main
+
+CASE = "rodinia/gaussian:thread_increase"
+
+
+class TestOutputFormats:
+    def test_output_json_emits_a_versioned_report(self, capsys):
+        assert cli_main(["--case", CASE, "--output", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "advice_report"
+        assert payload["kernel"] == "Fan2"
+        assert payload["profile"]["instructions"]
+        assert payload["blame"]["edges"]
+
+    def test_output_jsonl_single_case_emits_a_result_line(self, capsys):
+        assert cli_main(["--case", CASE, "--output", "jsonl"]) == 0
+        from repro.api.result import AdvisingResult
+
+        result = AdvisingResult.from_json(capsys.readouterr().out)
+        assert result.ok
+        assert result.report.kernel == "Fan2"
+        assert result.request.case_id == CASE
+
+    def test_output_jsonl_sweep_streams_one_line_per_case(self, capsys):
+        assert cli_main(["--all", "--limit", "3", "--output", "jsonl"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert len(lines) == 3
+        assert all(line["kind"] == "advising_result" for line in lines)
+        assert sorted(line["index"] for line in lines) == [0, 1, 2]
+
+    def test_json_flag_is_an_alias_for_output_json(self, capsys):
+        assert cli_main(["--case", CASE, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["kernel"] == "Fan2"
+
+    def test_json_flag_conflicts_with_other_output(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--case", CASE, "--json", "--output", "text"])
+        assert excinfo.value.code == 2
+
+    def test_sweep_json_round_trips_through_result_objects(self, capsys):
+        assert cli_main(["--all", "--limit", "2", "--output", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        for entry in payload:
+            assert entry["ok"]
+            assert entry["report"]["kind"] == "advice_report"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("top", ["0", "-3"])
+    def test_nonpositive_top_is_rejected(self, top, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--case", CASE, "--top", top])
+        assert excinfo.value.code == 2
+        assert "--top must be positive" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("period", ["0", "-8"])
+    def test_nonpositive_sample_period_is_rejected(self, period, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--case", CASE, "--sample-period", period])
+        assert excinfo.value.code == 2
+        assert "--sample-period must be positive" in capsys.readouterr().err
+
+    def test_zero_jobs_is_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--all", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "--jobs must be at least 1" in capsys.readouterr().err
+
+    def test_unknown_case_fails_with_captured_traceback(self, capsys):
+        assert cli_main(["--case", "no/such:case"]) == 1
+        assert "KeyError" in capsys.readouterr().err

@@ -1,0 +1,253 @@
+"""Tests for AdvisingSession: execution modes, knobs, error capture."""
+
+import json
+
+import pytest
+
+from repro.api.request import AdvisingRequest, request_for_case
+from repro.api.result import AdvisingError, AdvisingResult, dump_jsonl, load_jsonl
+from repro.api.schema import ApiValidationError
+from repro.api.session import AdvisingSession
+from repro.pipeline.cache import ProfileCache
+
+SUBSET = ["rodinia/backprop:warp_balance", "rodinia/gaussian:thread_increase"]
+
+
+@pytest.fixture(scope="module")
+def session():
+    return AdvisingSession(sample_period=8)
+
+
+class TestAdvise:
+    def test_case_request(self, session):
+        result = session.advise(request_for_case(SUBSET[0]))
+        assert result.ok
+        assert result.label == SUBSET[0]
+        assert result.arch_flag == "sm_70"
+        assert result.sample_period == 8
+        assert result.report.advice
+        assert result.duration > 0.0
+
+    def test_matches_legacy_gpa_facade(self, session):
+        from repro.advisor.advisor import GPA
+        from repro.workloads.registry import case_by_name
+
+        case = case_by_name(SUBSET[0])
+        setup = case.build_baseline()
+        with pytest.deprecated_call():
+            legacy = GPA(sample_period=8).advise(
+                setup.cubin, setup.kernel, setup.config, setup.workload
+            )
+        modern = session.report_for(request_for_case(SUBSET[0]))
+        assert legacy.to_dict() == modern.to_dict()
+
+    def test_binary_request(self, session, toy_cubin, toy_config, toy_workload):
+        request = (
+            AdvisingRequest.builder()
+            .binary(toy_cubin, "toy_kernel", toy_config, toy_workload)
+            .build()
+        )
+        result = session.advise(request)
+        assert result.ok
+        assert result.report.kernel == "toy_kernel"
+
+    def test_profile_request_runs_analysis_only(self, session, toy_profiled, toy_cubin):
+        request = (
+            AdvisingRequest.builder()
+            .profile(toy_profiled.profile, toy_cubin)
+            .build()
+        )
+        result = session.advise(request)
+        assert result.ok
+        assert result.report.profile.total_samples == toy_profiled.profile.total_samples
+
+    def test_unknown_case_is_captured_not_raised(self, session):
+        result = session.advise(request_for_case("no/such:case"))
+        assert not result.ok
+        assert "KeyError" in result.error
+        with pytest.raises(AdvisingError):
+            result.require_report()
+
+    def test_report_for_raises_on_failure(self, session):
+        with pytest.raises(AdvisingError, match="no/such:case"):
+            session.report_for(request_for_case("no/such:case"))
+
+    def test_profile_source_cannot_be_profiled(self, session, toy_profiled, toy_cubin):
+        request = AdvisingRequest.builder().profile(toy_profiled.profile, toy_cubin).build()
+        with pytest.raises(ApiValidationError):
+            session.profile(request)
+
+    def test_arch_override_changes_statistics(self, session):
+        volta = session.report_for(request_for_case(SUBSET[1]))
+        turing = session.report_for(request_for_case(SUBSET[1], arch_flag="sm_75"))
+        assert volta.profile.statistics.to_dict() != turing.profile.statistics.to_dict()
+
+    def test_optimizer_selection_narrows_the_report(self, session):
+        request = (
+            AdvisingRequest.builder()
+            .case(SUBSET[0])
+            .optimizers("GPUWarpBalanceOptimizer", "GPUFastMathOptimizer")
+            .build()
+        )
+        report = session.report_for(request)
+        assert [item.optimizer for item in report.advice] in (
+            ["GPUWarpBalanceOptimizer", "GPUFastMathOptimizer"],
+            ["GPUFastMathOptimizer", "GPUWarpBalanceOptimizer"],
+        )
+
+    def test_unknown_optimizer_is_captured(self, session):
+        request = (
+            AdvisingRequest.builder().case(SUBSET[0]).optimizers("NoSuchOptimizer").build()
+        )
+        result = session.advise(request)
+        assert not result.ok
+        assert "NoSuchOptimizer" in result.error
+
+    def test_per_request_sample_period(self, session):
+        fine = session.report_for(request_for_case(SUBSET[0], sample_period=4))
+        assert fine.profile.statistics.sample_period == 4
+        coarse = session.report_for(request_for_case(SUBSET[0]))
+        assert coarse.profile.statistics.sample_period == 8
+        assert fine.profile.total_samples > coarse.profile.total_samples
+
+
+class TestCachePolicies:
+    def test_default_policy_populates_and_replays(self, tmp_path):
+        session = AdvisingSession(sample_period=8, cache=str(tmp_path))
+        cold = session.report_for(request_for_case(SUBSET[0]))
+        assert session.cache.stores > 0
+        warm_session = AdvisingSession(sample_period=8, cache=str(tmp_path))
+        warm = warm_session.report_for(request_for_case(SUBSET[0]))
+        assert warm_session.cache.hits > 0
+        assert cold.to_dict() == warm.to_dict()
+
+    def test_bypass_policy_never_touches_the_cache(self, tmp_path):
+        session = AdvisingSession(sample_period=8, cache=str(tmp_path))
+        session.report_for(request_for_case(SUBSET[0], cache_policy="bypass"))
+        assert len(ProfileCache(tmp_path)) == 0
+
+    def test_refresh_policy_resimulates_and_rewrites(self, tmp_path):
+        session = AdvisingSession(sample_period=8, cache=str(tmp_path))
+        session.report_for(request_for_case(SUBSET[0]))
+        stores_before = session.cache.stores
+        session.report_for(request_for_case(SUBSET[0], cache_policy="refresh"))
+        assert session.cache.stores == stores_before + 1
+
+
+class TestBatchModes:
+    def test_advise_many_preserves_order(self, session):
+        results = session.advise_many([request_for_case(name) for name in SUBSET])
+        assert [result.label for result in results] == SUBSET
+        assert [result.index for result in results] == [0, 1]
+
+    def test_pool_stream_yields_every_result(self):
+        pooled = AdvisingSession(sample_period=8, jobs=2)
+        results = list(pooled.stream([request_for_case(name) for name in SUBSET]))
+        assert sorted(result.index for result in results) == [0, 1]
+        assert all(result.ok for result in results)
+
+    def test_pool_results_equal_inline_results(self, session):
+        requests = [request_for_case(name) for name in SUBSET]
+        inline = session.advise_many(requests)
+        pooled = AdvisingSession(sample_period=8, jobs=2).advise_many(requests)
+        for left, right in zip(inline, pooled):
+            assert left.to_dict()["report"] == right.to_dict()["report"]
+
+    def test_pool_error_capture(self):
+        pooled = AdvisingSession(sample_period=8, jobs=2)
+        results = pooled.advise_many(
+            [request_for_case("no/such:case"), request_for_case(SUBSET[0])]
+        )
+        assert not results[0].ok and "KeyError" in results[0].error
+        assert results[1].ok
+
+    def test_progress_events_come_in_adjacent_pairs(self):
+        events = []
+        pooled = AdvisingSession(sample_period=8, jobs=2)
+        pooled.advise_many(
+            [request_for_case(name) for name in SUBSET], progress=events.append
+        )
+        assert len(events) == 2 * len(SUBSET)
+        for start, finish in zip(events[::2], events[1::2]):
+            assert start.status == "start"
+            assert finish.status in ("done", "error")
+            assert start.step == finish.step
+            assert start.index == finish.index
+            assert start.total == finish.total == len(SUBSET)
+
+    def test_unserializable_request_falls_back_inline(self, toy_cubin, toy_config):
+        from repro.sampling.workload import WorkloadSpec
+
+        workload = WorkloadSpec(loop_trip_counts={12: lambda warp, n: 4})
+        requests = [
+            AdvisingRequest.builder()
+            .binary(toy_cubin, "toy_kernel", toy_config, workload)
+            .build(),
+            request_for_case(SUBSET[0]),
+        ]
+        pooled = AdvisingSession(sample_period=8, jobs=2)
+        results = pooled.advise_many(requests)
+        assert all(result.ok for result in results)
+
+    def test_custom_optimizer_instances_run_inline(self):
+        from repro.optimizers.registry import default_optimizers
+
+        session = AdvisingSession(
+            sample_period=8, jobs=2, optimizers=default_optimizers()[:3]
+        )
+        assert session._pool_config() is None
+        results = session.advise_many([request_for_case(name) for name in SUBSET])
+        assert all(result.ok for result in results)
+        assert all(len(result.report.advice) == 3 for result in results)
+
+
+class TestJsonl:
+    def test_dump_and_load_jsonl(self, session):
+        results = session.advise_many([request_for_case(name) for name in SUBSET])
+        lines = list(dump_jsonl(results))
+        assert len(lines) == len(SUBSET)
+        reloaded = list(load_jsonl(lines))
+        assert [r.to_dict() for r in reloaded] == [r.to_dict() for r in results]
+
+    def test_jsonl_lines_are_single_line_json(self, session):
+        result = session.advise(request_for_case(SUBSET[0]))
+        (line,) = dump_jsonl([result])
+        assert "\n" not in line
+        assert json.loads(line)["label"] == SUBSET[0]
+
+
+class TestSessionValidation:
+    def test_bad_sample_period(self):
+        with pytest.raises(ApiValidationError):
+            AdvisingSession(sample_period=0)
+
+    def test_bad_jobs(self):
+        with pytest.raises(ApiValidationError):
+            AdvisingSession(jobs=0)
+
+    def test_unknown_optimizer_name(self):
+        with pytest.raises(ApiValidationError):
+            AdvisingSession(optimizers=["NoSuchOptimizer"])
+
+    def test_empty_optimizer_list(self):
+        with pytest.raises(ApiValidationError):
+            AdvisingSession(optimizers=[])
+
+    def test_architecture_by_flag(self):
+        assert AdvisingSession(architecture="sm_80").arch_flag == "sm_80"
+
+
+class TestResultSchema:
+    def test_result_round_trip_is_byte_identical(self, session):
+        result = session.advise(request_for_case(SUBSET[0]))
+        dumped = result.to_dict()
+        reloaded = AdvisingResult.from_dict(json.loads(json.dumps(dumped)))
+        assert json.dumps(dumped, sort_keys=True) == json.dumps(
+            reloaded.to_dict(), sort_keys=True
+        )
+
+    def test_error_result_round_trips(self, session):
+        result = session.advise(request_for_case("no/such:case"))
+        reloaded = AdvisingResult.from_dict(result.to_dict())
+        assert not reloaded.ok
+        assert reloaded.error == result.error

@@ -1,0 +1,67 @@
+"""Progress-event ordering invariants of the PipelineRunner."""
+
+import pytest
+
+from repro.pipeline.runner import PipelineRunner, PipelineStep, ProgressEvent
+
+
+def run_plan(actions):
+    events = []
+    plan = [PipelineStep(name, action) for name, action in actions]
+    outcomes = PipelineRunner(events.append).execute(plan)
+    return events, outcomes
+
+
+class TestProgressEventOrdering:
+    def test_start_and_done_are_adjacent_per_step(self):
+        events, _ = run_plan(
+            [("a", lambda: 1), ("b", lambda: 2), ("c", lambda: 3)]
+        )
+        assert len(events) == 6
+        for start, finish in zip(events[::2], events[1::2]):
+            assert start.status == "start"
+            assert finish.status == "done"
+            assert start.step == finish.step
+            assert start.index == finish.index
+
+    def test_error_event_is_adjacent_to_its_start(self):
+        events, _ = run_plan(
+            [("ok", lambda: 1), ("boom", lambda: 1 / 0), ("after", lambda: 3)]
+        )
+        statuses = [(event.step, event.status) for event in events]
+        assert statuses == [
+            ("ok", "start"), ("ok", "done"),
+            ("boom", "start"), ("boom", "error"),
+            ("after", "start"), ("after", "done"),
+        ]
+
+    def test_indices_are_sequential_and_totals_constant(self):
+        events, _ = run_plan([(str(i), lambda i=i: i) for i in range(5)])
+        assert [event.index for event in events[::2]] == list(range(5))
+        assert {event.total for event in events} == {5}
+        for event in events:
+            assert 0 <= event.index < event.total
+
+    def test_start_events_carry_no_duration_or_error(self):
+        events, _ = run_plan([("boom", lambda: 1 / 0)])
+        start, error = events
+        assert start.duration == 0.0 and start.error is None
+        assert error.status == "error"
+        assert error.duration >= 0.0
+        assert "ZeroDivisionError" in error.error
+
+    def test_done_durations_match_outcomes(self):
+        events, outcomes = run_plan([("a", lambda: 1), ("b", lambda: 2)])
+        finals = events[1::2]
+        assert [event.duration for event in finals] == [
+            outcome.duration for outcome in outcomes
+        ]
+
+    def test_empty_plan_emits_nothing(self):
+        events, outcomes = run_plan([])
+        assert events == [] and outcomes == []
+
+    def test_event_is_frozen(self):
+        event = ProgressEvent("x", 0, 1, "start")
+        with pytest.raises(AttributeError):
+            event.status = "done"
