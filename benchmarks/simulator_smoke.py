@@ -1,0 +1,110 @@
+"""Simulator throughput smoke benchmark.
+
+Profiles a small subset of the :mod:`bench_pipeline_batch` cases (baseline
+and hand-optimized variants, sequential, no cache) and reports simulator
+throughput as *simulated cycles per wall second*: the cycles the simulator
+actually walked (``wave_cycles`` for the single-wave scope, the sum of
+every SM's cycles across every wave for the whole-GPU scope) divided by the
+time spent inside :meth:`AdvisingSession.profile`.
+
+The result is written as JSON — by default to ``BENCH_simulator.json`` at
+the repository root — so CI can track the simulator's perf trajectory run
+over run::
+
+    PYTHONPATH=src python benchmarks/simulator_smoke.py
+    PYTHONPATH=src python benchmarks/simulator_smoke.py --cases 2 --output /tmp/bench.json
+
+The workload is deterministic (fixed case list, fixed sample period), so
+throughput changes reflect simulator changes, not workload drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from bench_pipeline_batch import CASES
+
+from repro.api.request import request_for_case
+from repro.api.session import AdvisingSession
+from repro.sampling.gpu import GpuSimulationResult
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+#: The bench_pipeline_batch subset the smoke run profiles.
+SMOKE_CASES = CASES[:3]
+
+
+def run_smoke(case_ids, sample_period: int = 8, simulation_scope: str = "single_wave") -> dict:
+    """Profile every case variant once; return the throughput summary."""
+    session = AdvisingSession(
+        sample_period=sample_period, simulation_scope=simulation_scope
+    )
+    per_case = []
+    simulated_cycles = 0
+    wall_seconds = 0.0
+    for case_id in case_ids:
+        for variant in ("baseline", "optimized"):
+            started = time.perf_counter()
+            profiled = session.profile(request_for_case(case_id, variant))
+            elapsed = time.perf_counter() - started
+            simulation = profiled.simulation
+            if isinstance(simulation, GpuSimulationResult):
+                # Whole-GPU runs walk every SM of every wave; count all of it.
+                cycles = simulation.simulated_sm_cycles
+            else:
+                cycles = profiled.profile.statistics.wave_cycles
+            simulated_cycles += cycles
+            wall_seconds += elapsed
+            per_case.append(
+                {
+                    "case": case_id,
+                    "variant": variant,
+                    "simulated_cycles": cycles,
+                    "kernel_cycles": profiled.profile.statistics.kernel_cycles,
+                    "seconds": round(elapsed, 4),
+                }
+            )
+    return {
+        "benchmark": "simulator_smoke",
+        "simulation_scope": simulation_scope,
+        "sample_period": sample_period,
+        "python": platform.python_version(),
+        "cases": list(case_ids),
+        "profiles": per_case,
+        "simulated_cycles": simulated_cycles,
+        "wall_seconds": round(wall_seconds, 4),
+        "cycles_per_second": round(simulated_cycles / wall_seconds) if wall_seconds else 0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT), metavar="PATH",
+                        help="where to write the JSON summary")
+    parser.add_argument("--cases", type=int, default=len(SMOKE_CASES), metavar="N",
+                        help=f"how many smoke cases to run (default {len(SMOKE_CASES)})")
+    parser.add_argument("--sample-period", type=int, default=8)
+    parser.add_argument("--scope", default="single_wave",
+                        choices=("single_wave", "whole_gpu"), dest="simulation_scope")
+    args = parser.parse_args(argv)
+
+    summary = run_smoke(
+        SMOKE_CASES[: args.cases],
+        sample_period=args.sample_period,
+        simulation_scope=args.simulation_scope,
+    )
+    Path(args.output).write_text(json.dumps(summary, indent=2) + "\n")
+    print(
+        f"{len(summary['profiles'])} profiles, "
+        f"{summary['simulated_cycles']} simulated cycles in "
+        f"{summary['wall_seconds']:.2f}s -> "
+        f"{summary['cycles_per_second']:,} cycles/s -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,7 +60,8 @@ from repro.cubin.binary import Cubin, Function, FunctionVisibility
 from repro.cubin.builder import CubinBuilder, KernelBuilder
 from repro.optimizers.base import OptimizationAdvice, Optimizer, OptimizerCategory
 from repro.optimizers.registry import OptimizerRegistry, default_optimizers
-from repro.sampling.profiler import ProfiledKernel, Profiler
+from repro.sampling.gpu import GpuSimulationResult, GpuSimulator
+from repro.sampling.profiler import SIMULATION_SCOPES, ProfiledKernel, Profiler
 from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
 from repro.sampling.stall_reasons import DetailedStallReason, StallReason
 from repro.sampling.workload import WorkloadSpec
@@ -86,6 +87,8 @@ __all__ = [
     "FunctionVisibility",
     "GPA",
     "GpuArchitecture",
+    "GpuSimulationResult",
+    "GpuSimulator",
     "InstructionBlamer",
     "KernelBuilder",
     "KernelProfile",
@@ -102,6 +105,7 @@ __all__ = [
     "Profiler",
     "ProgramStructure",
     "RequestBuilder",
+    "SIMULATION_SCOPES",
     "profile_cache_key",
     "request_for_case",
     "StallReason",

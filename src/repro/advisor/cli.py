@@ -43,6 +43,7 @@ from repro.arch.machine import architecture_flags
 from repro.cubin.binary import Cubin
 from repro.pipeline.batch import error_summary
 from repro.pipeline.runner import ProgressEvent
+from repro.sampling.profiler import SIMULATION_SCOPES
 from repro.sampling.sample import KernelProfile
 from repro.workloads.registry import case_by_name, case_names
 
@@ -67,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "runs replay profiles instead of re-simulating")
     parser.add_argument("--arch", default="sm_70", choices=architecture_flags(),
                         help="architecture model to profile on (default sm_70)")
+    parser.add_argument("--scope", default="single_wave", choices=SIMULATION_SCOPES,
+                        dest="simulation_scope", metavar="SCOPE",
+                        help="simulation scope: 'single_wave' extrapolates one "
+                             "simulated wave (default), 'whole_gpu' measures the "
+                             "full grid across every SM (slower, sees tail waves "
+                             "and cross-SM imbalance)")
     parser.add_argument("--optimized", action="store_true",
                         help="analyze the hand-optimized variant instead of the baseline")
     parser.add_argument("--profile", help="path to a dumped kernel profile (JSON)")
@@ -90,6 +97,7 @@ def _session(args: argparse.Namespace) -> AdvisingSession:
         sample_period=args.sample_period,
         cache=args.cache_dir,
         jobs=args.jobs,
+        simulation_scope=args.simulation_scope,
     )
 
 

@@ -29,6 +29,7 @@ from repro.api.schema import (
 )
 from repro.arch.machine import ArchitectureError, get_architecture
 from repro.cubin.binary import Cubin
+from repro.sampling.profiler import check_simulation_scope
 from repro.sampling.sample import KernelProfile, LaunchConfig
 from repro.sampling.workload import WorkloadSpec
 
@@ -56,9 +57,12 @@ class AdvisingRequest:
       :class:`~repro.sampling.sample.KernelProfile` and ``cubin`` the binary
       it was collected from; only the analysis stage runs.
 
-    ``arch_flag``/``sample_period``/``optimizers`` default to ``None``,
-    meaning "whatever the session was configured with"; ``arch_flag`` set
-    explicitly retargets the binary onto that architecture model.
+    ``arch_flag``/``sample_period``/``simulation_scope``/``optimizers``
+    default to ``None``, meaning "whatever the session was configured with";
+    ``arch_flag`` set explicitly retargets the binary onto that architecture
+    model, ``simulation_scope`` picks the simulation engine ("single_wave"
+    extrapolates one simulated wave, "whole_gpu" measures the full grid
+    across every SM).
     """
 
     source: str
@@ -71,6 +75,7 @@ class AdvisingRequest:
     profile: Optional[KernelProfile] = None
     arch_flag: Optional[str] = None
     sample_period: Optional[int] = None
+    simulation_scope: Optional[str] = None
     optimizers: Optional[Tuple[str, ...]] = None
     cache_policy: str = "default"
     label: Optional[str] = None
@@ -134,6 +139,11 @@ class AdvisingRequest:
             raise ApiValidationError(
                 f"sample_period must be positive, got {self.sample_period}"
             )
+        if self.simulation_scope is not None:
+            try:
+                check_simulation_scope(self.simulation_scope)
+            except ValueError as exc:
+                raise ApiValidationError(str(exc)) from exc
         if self.arch_flag is not None:
             try:
                 get_architecture(self.arch_flag)
@@ -191,6 +201,7 @@ class AdvisingRequest:
                 "profile": self.profile.to_dict() if self.profile is not None else None,
                 "arch_flag": self.arch_flag,
                 "sample_period": self.sample_period,
+                "simulation_scope": self.simulation_scope,
                 "optimizers": list(self.optimizers) if self.optimizers is not None else None,
                 "cache_policy": self.cache_policy,
                 "label": self.label,
@@ -216,6 +227,7 @@ class AdvisingRequest:
             profile=KernelProfile.from_dict(profile) if profile is not None else None,
             arch_flag=payload.get("arch_flag"),
             sample_period=payload.get("sample_period"),
+            simulation_scope=payload.get("simulation_scope"),
             optimizers=tuple(optimizers) if optimizers is not None else None,
             cache_policy=payload.get("cache_policy", "default"),
             label=payload.get("label"),
@@ -286,6 +298,14 @@ class RequestBuilder:
         self._fields["sample_period"] = period
         return self
 
+    def simulation_scope(self, scope: str) -> "RequestBuilder":
+        self._fields["simulation_scope"] = scope
+        return self
+
+    def whole_gpu(self) -> "RequestBuilder":
+        """Simulate the full grid across every SM instead of extrapolating."""
+        return self.simulation_scope("whole_gpu")
+
     def optimizers(self, *names: str) -> "RequestBuilder":
         self._fields["optimizers"] = tuple(names)
         return self
@@ -328,6 +348,7 @@ def request_for_case(
     sample_period: Optional[int] = None,
     cache_policy: str = "default",
     optimizers: Optional[Tuple[str, ...]] = None,
+    simulation_scope: Optional[str] = None,
 ) -> AdvisingRequest:
     """The request for one benchmark case (id, registry case, or ad-hoc case).
 
@@ -344,6 +365,7 @@ def request_for_case(
         return AdvisingRequest(
             source="case", case_id=case_or_id, variant=variant,
             arch_flag=arch_flag, sample_period=sample_period,
+            simulation_scope=simulation_scope,
             cache_policy=cache_policy, optimizers=optimizers,
             label=case_or_id,
         )
@@ -352,6 +374,7 @@ def request_for_case(
         return AdvisingRequest(
             source="case", case_id=case.case_id, variant=variant,
             arch_flag=arch_flag, sample_period=sample_period,
+            simulation_scope=simulation_scope,
             cache_policy=cache_policy, optimizers=optimizers,
             label=case.case_id,
         )
@@ -360,6 +383,7 @@ def request_for_case(
         source="binary", cubin=setup.cubin, kernel=setup.kernel,
         config=setup.config, workload=setup.workload,
         arch_flag=arch_flag, sample_period=sample_period,
+        simulation_scope=simulation_scope,
         cache_policy=cache_policy, optimizers=optimizers,
         label=case.case_id,
     )

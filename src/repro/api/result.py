@@ -44,10 +44,11 @@ class AdvisingResult:
     index: int = 0
     #: Display label (the request's ``describe()`` unless overridden).
     label: str = ""
-    #: Architecture flag and sample period the job actually ran with (the
-    #: request's knobs with session defaults filled in).
+    #: Architecture flag, sample period and simulation scope the job actually
+    #: ran with (the request's knobs with session defaults filled in).
     arch_flag: str = ""
     sample_period: int = 0
+    simulation_scope: str = "single_wave"
     report: Optional[AdviceReport] = None
     error: Optional[str] = None
     duration: float = 0.0
@@ -77,6 +78,7 @@ class AdvisingResult:
                 "label": self.label,
                 "arch_flag": self.arch_flag,
                 "sample_period": self.sample_period,
+                "simulation_scope": self.simulation_scope,
                 "report": self.report.to_dict() if self.report is not None else None,
                 "error": self.error,
                 "duration": self.duration,
@@ -96,6 +98,7 @@ class AdvisingResult:
             label=payload.get("label", ""),
             arch_flag=payload.get("arch_flag", ""),
             sample_period=payload.get("sample_period", 0),
+            simulation_scope=payload.get("simulation_scope", "single_wave"),
             report=AdviceReport.from_dict(report) if report is not None else None,
             error=payload.get("error"),
             duration=payload.get("duration", 0.0),

@@ -21,7 +21,14 @@ from typing import Any
 #: Version of the request/result wire format.  Bump whenever a serialized
 #: field changes meaning or shape; loaders reject payloads from other
 #: versions.
-API_SCHEMA_VERSION = 1
+#:
+#: Version history:
+#:
+#: 1. Initial service-layer API.
+#: 2. Requests and results carry ``simulation_scope`` (the whole-GPU
+#:    simulation engine); launch statistics inside profiles record the scope
+#:    that produced them.
+API_SCHEMA_VERSION = 2
 
 
 class ApiError(Exception):

@@ -44,7 +44,7 @@ from repro.pipeline.stages import (
     ProfileStage,
     retarget,
 )
-from repro.sampling.profiler import ProfiledKernel, Profiler
+from repro.sampling.profiler import ProfiledKernel, Profiler, check_simulation_scope
 from repro.sampling.sample import KernelProfile
 from repro.structure.program import ProgramStructure, build_program_structure
 
@@ -59,15 +59,21 @@ class AdvisingSession:
         sample_period: int = 8,
         cache: Union[None, str, ProfileCache] = None,
         jobs: int = 1,
+        simulation_scope: str = "single_wave",
     ):
         if sample_period <= 0:
             raise ApiValidationError(f"sample_period must be positive, got {sample_period}")
         if jobs < 1:
             raise ApiValidationError(f"jobs must be >= 1, got {jobs}")
+        try:
+            check_simulation_scope(simulation_scope)
+        except ValueError as exc:
+            raise ApiValidationError(str(exc)) from exc
         if isinstance(architecture, str):
             architecture = get_architecture(architecture)
         self.architecture = architecture or VoltaV100
         self.sample_period = sample_period
+        self.simulation_scope = simulation_scope
         self.cache = coerce_cache(cache)
         self.jobs = jobs
 
@@ -79,10 +85,13 @@ class AdvisingSession:
 
         # The default stage pair, shared with the `GPA` façade for
         # backward-compatible attribute access.
-        self.profiler = Profiler(self.architecture, sample_period=sample_period)
+        self.profiler = Profiler(
+            self.architecture, sample_period=sample_period,
+            simulation_scope=simulation_scope,
+        )
         self.profile_stage = ProfileStage(profiler=self.profiler, cache=self.cache)
         self.analyze_stage = AnalyzeStage(self.architecture, self.optimizers)
-        self._profile_stages: Dict[Tuple[int, bool], ProfileStage] = {}
+        self._profile_stages: Dict[Tuple[int, bool, str], ProfileStage] = {}
         self._analyze_stages: Dict[Tuple[str, Optional[Tuple[str, ...]]], AnalyzeStage] = {}
 
     # ------------------------------------------------------------------
@@ -124,16 +133,18 @@ class AdvisingSession:
     # ------------------------------------------------------------------
     def _profile_stage_for(self, request: AdvisingRequest) -> ProfileStage:
         period = request.sample_period or self.sample_period
+        scope = request.simulation_scope or self.simulation_scope
         cached = request.cache_policy != "bypass"
-        if period == self.sample_period and cached:
+        if period == self.sample_period and scope == self.simulation_scope and cached:
             return self.profile_stage
-        key = (period, cached)
+        key = (period, cached, scope)
         stage = self._profile_stages.get(key)
         if stage is None:
             stage = ProfileStage(
                 architecture=self.architecture,
                 sample_period=period,
                 cache=self.cache if cached else None,
+                simulation_scope=scope,
             )
             self._profile_stages[key] = stage
         return stage
@@ -191,6 +202,12 @@ class AdvisingSession:
         label = request.describe()
         arch_flag = request.arch_flag or self.arch_flag
         period = request.sample_period or self.sample_period
+        if request.source == "profile":
+            # Nothing is simulated: report the scope the loaded profile was
+            # actually collected with, not the session default.
+            scope = request.profile.statistics.simulation_scope
+        else:
+            scope = request.simulation_scope or self.simulation_scope
         started = time.perf_counter()
         try:
             if request.source == "profile":
@@ -209,12 +226,14 @@ class AdvisingSession:
             return AdvisingResult(
                 request=request, index=index, label=label,
                 arch_flag=arch_flag, sample_period=period,
+                simulation_scope=scope,
                 error=traceback.format_exc(),
                 duration=time.perf_counter() - started,
             )
         return AdvisingResult(
             request=request, index=index, label=label,
             arch_flag=arch_flag, sample_period=period,
+            simulation_scope=scope,
             report=report, duration=time.perf_counter() - started,
         )
 
@@ -337,6 +356,7 @@ class AdvisingSession:
         return {
             "arch_flag": self.arch_flag,
             "sample_period": self.sample_period,
+            "simulation_scope": self.simulation_scope,
             "cache_dir": str(self.cache.directory) if self.cache is not None else None,
             "optimizer_names": (
                 list(self._optimizer_names) if self._optimizer_names else None
@@ -365,6 +385,7 @@ def _pool_advise(config: dict, payload: dict, index: int) -> dict:
         sample_period=config["sample_period"],
         cache=config["cache_dir"],
         jobs=1,
+        simulation_scope=config.get("simulation_scope", "single_wave"),
     )
     request = AdvisingRequest.from_dict(payload)
     return session.advise(request, index=index).to_dict()

@@ -35,6 +35,11 @@ class OccupancyResult:
     grid_blocks: int
     #: Number of "waves" needed to run the whole grid.
     waves: float
+    #: Blocks each SM can hold at once from hardware resources alone (the
+    #: per-SM residency cap *before* clamping by the grid size).  This is the
+    #: dispatch capacity the whole-GPU engine schedules waves with; equals
+    #: ``blocks_per_sm`` unless the launch is grid-limited.
+    blocks_per_sm_limit: int = 0
 
     @property
     def is_grid_limited(self) -> bool:
@@ -128,4 +133,5 @@ class OccupancyCalculator:
             limiter=limiter,
             grid_blocks=grid_blocks,
             waves=waves,
+            blocks_per_sm_limit=blocks_limit,
         )

@@ -53,17 +53,20 @@ def sampling_model_demo(
     sample_period: int = 8,
     arch_flag: str = "sm_70",
     cache_dir: Optional[str] = None,
+    simulation_scope: str = "single_wave",
 ) -> Dict[str, object]:
     """Run the Figure 1 demonstration and return its sample statistics.
 
     The demo runs the profiling stage alone — the analyzer is not involved —
     so it drives :meth:`AdvisingSession.profile
     <repro.api.session.AdvisingSession.profile>` with a binary-source
-    request.
+    request.  Under ``simulation_scope="whole_gpu"`` the sample stream comes
+    from every SM of the simulated GPU instead of one.
     """
     builder = _toy_kernel()
     session = AdvisingSession(
-        architecture=arch_flag, sample_period=sample_period, cache=cache_dir
+        architecture=arch_flag, sample_period=sample_period, cache=cache_dir,
+        simulation_scope=simulation_scope,
     )
     profiled = session.profile(
         AdvisingRequest(
@@ -87,5 +90,7 @@ def sampling_model_demo(
             reason.value: count for reason, count in profile.stalls_by_reason().items()
         },
         "wave_cycles": profile.statistics.wave_cycles,
+        "kernel_cycles": profile.statistics.kernel_cycles,
         "warps_per_scheduler": profile.statistics.warps_per_scheduler,
+        "simulation_scope": profile.statistics.simulation_scope,
     }

@@ -68,11 +68,14 @@ def evaluate_figure7(
     arch_flag: str = "sm_70",
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    simulation_scope: str = "single_wave",
 ) -> List[CoverageRow]:
     """Compute coverage rows for every (unique) benchmark.
 
     Runs through the batch pipeline: ``jobs`` fans benchmarks out across
-    processes and ``cache_dir`` replays already-simulated baseline profiles.
+    processes, ``cache_dir`` replays already-simulated baseline profiles and
+    ``simulation_scope`` selects the simulation engine the profiles are
+    collected with.
     """
     unique: List[BenchmarkCase] = []
     seen = set()
@@ -88,6 +91,7 @@ def evaluate_figure7(
             sample_period=sample_period,
             cache_dir=str(cache_dir) if cache_dir is not None else None,
             jobs=jobs,
+            simulation_scope=simulation_scope,
         )
     )
     results = advisor.run_cases(coverage_case_worker, unique, progress=progress)

@@ -24,6 +24,7 @@ dependencies flow through the same def-use analysis as register operands.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import FrozenSet, Optional, Tuple
 
 from repro.isa.opcodes import OpcodeInfo, lookup_opcode
@@ -120,12 +121,12 @@ class Instruction:
     # ------------------------------------------------------------------
     # Static metadata
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def info(self) -> OpcodeInfo:
         """Opcode metadata from the catalog."""
         return lookup_opcode(self.full_opcode)
 
-    @property
+    @cached_property
     def full_opcode(self) -> str:
         """Opcode plus modifiers, e.g. ``LDG.E.32``."""
         if self.modifiers:
@@ -137,23 +138,23 @@ class Instruction:
         """Whether the instruction is guarded by a non-trivial predicate."""
         return not self.predicate.is_true_predicate
 
-    @property
+    @cached_property
     def is_memory(self) -> bool:
         return self.info.is_memory
 
-    @property
+    @cached_property
     def is_load(self) -> bool:
         return self.info.is_load
 
-    @property
+    @cached_property
     def is_store(self) -> bool:
         return self.info.is_store
 
-    @property
+    @cached_property
     def is_synchronization(self) -> bool:
         return self.info.is_synchronization
 
-    @property
+    @cached_property
     def is_control(self) -> bool:
         return self.info.is_control
 
@@ -169,7 +170,7 @@ class Instruction:
     def is_exit(self) -> bool:
         return self.opcode in ("EXIT", "RET")
 
-    @property
+    @cached_property
     def memory_space(self) -> Optional[MemorySpace]:
         """Address space of the memory access, if this is a memory op."""
         for operand in self.sources + self.dests:
@@ -180,7 +181,7 @@ class Instruction:
     # ------------------------------------------------------------------
     # Def / use sets
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def defined_registers(self) -> FrozenSet[RegisterOperand]:
         """General-purpose registers written by this instruction."""
         regs = set()
@@ -194,7 +195,7 @@ class Instruction:
                 pass
         return frozenset(regs)
 
-    @property
+    @cached_property
     def used_registers(self) -> FrozenSet[RegisterOperand]:
         """General-purpose registers read by this instruction.
 

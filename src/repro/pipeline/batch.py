@@ -60,6 +60,7 @@ class BatchConfig:
     sample_period: int = 8
     cache_dir: Optional[str] = None
     jobs: int = 1
+    simulation_scope: str = "single_wave"
 
     @property
     def architecture(self) -> GpuArchitecture:
@@ -74,6 +75,7 @@ class BatchConfig:
             sample_period=self.sample_period,
             cache=self.cache_dir,
             jobs=self.jobs,
+            simulation_scope=self.simulation_scope,
         )
 
     def build_gpa(self):

@@ -13,9 +13,11 @@ that digests *everything the simulation depends on*:
   digested through their code objects (bytecode, referenced names, constants,
   closures, defaults) so behaviourally different lambdas digest differently,
 * the architecture model (all hardware limits and latency overrides),
-* the PC sampling period, and
+* the PC sampling period,
 * the simulation cycle bound (``max_cycles``), so a truncated simulation is
-  never replayed as a full one.
+  never replayed as a full one, and
+* the simulation scope, so a cached single-wave profile never replays as a
+  whole-GPU one (or vice versa).
 
 Changing any of these misses; repeating a run hits and skips the simulator.
 Writes go through a temporary file and :func:`os.replace` so concurrent
@@ -41,7 +43,7 @@ from repro.sampling.simulator import DEFAULT_MAX_CYCLES
 from repro.sampling.workload import WorkloadSpec
 
 #: Bump when the digest scheme or the profile JSON schema changes shape.
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -294,14 +296,17 @@ def profile_cache_key(
     architecture: GpuArchitecture,
     sample_period: int,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    simulation_scope: str = "single_wave",
 ) -> str:
     """The cache key of one simulated kernel launch.
 
     ``max_cycles`` bounds the simulation loop and therefore the recorded
-    counts, so a truncated simulation must never be replayed as a full one.
-    (``keep_samples`` is deliberately absent: it only controls whether raw
-    samples are retained on the transient ``SimulationResult``, which is not
-    cached — replays always return ``simulation=None``.)
+    counts, so a truncated simulation must never be replayed as a full one;
+    ``simulation_scope`` selects the engine (single-wave extrapolation vs.
+    measured whole-GPU), so profiles from one scope must never replay as the
+    other.  (``keep_samples`` is deliberately absent: it only controls
+    whether raw samples are retained on the transient ``SimulationResult``,
+    which is not cached — replays always return ``simulation=None``.)
     """
     hasher = hashlib.sha256()
     for token in (
@@ -314,6 +319,7 @@ def profile_cache_key(
         _describe_architecture(architecture),
         f"period={sample_period}",
         f"max_cycles={max_cycles}",
+        f"scope={simulation_scope}",
     ):
         hasher.update(token.encode("utf-8"))
         hasher.update(b"\x00")

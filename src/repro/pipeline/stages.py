@@ -77,8 +77,11 @@ class ProfileStage:
         sample_period: int = 32,
         cache: Union[None, str, ProfileCache] = None,
         profiler: Optional[Profiler] = None,
+        simulation_scope: str = "single_wave",
     ):
-        self.profiler = profiler or Profiler(architecture, sample_period=sample_period)
+        self.profiler = profiler or Profiler(
+            architecture, sample_period=sample_period, simulation_scope=simulation_scope
+        )
         self.cache = coerce_cache(cache)
 
     @property
@@ -88,6 +91,10 @@ class ProfileStage:
     @property
     def sample_period(self) -> int:
         return self.profiler.sample_period
+
+    @property
+    def simulation_scope(self) -> str:
+        return self.profiler.simulation_scope
 
     # ------------------------------------------------------------------
     def cache_key(self, request: ProfileRequest) -> str:
@@ -100,6 +107,7 @@ class ProfileStage:
             self.profiler._architecture_for(request.cubin),
             self.profiler.sample_period,
             max_cycles=self.profiler.max_cycles,
+            simulation_scope=self.profiler.simulation_scope,
         )
 
     def run(self, request: ProfileRequest) -> ProfiledKernel:

@@ -20,9 +20,13 @@ level execution simulator that produces the same interface:
   out of the control flow graph;
 * :mod:`repro.sampling.simulator` — the SM simulator (scoreboards, barrier
   wait masks, block-wide synchronization, memory throttling, instruction
-  fetch pressure, loose round-robin scheduling, PC sampling);
+  fetch pressure, loose round-robin scheduling, observation-neutral PC
+  sampling);
+* :mod:`repro.sampling.gpu` — the whole-GPU engine that dispatches the full
+  grid across every SM in waves and merges the per-SM results;
 * :mod:`repro.sampling.profiler` — the profiler facade that runs kernel
-  launches and dumps profiles for offline analysis.
+  launches (under either simulation scope) and dumps profiles for offline
+  analysis.
 """
 
 from repro.sampling.stall_reasons import StallReason
@@ -36,9 +40,17 @@ from repro.sampling.sample import (
 from repro.sampling.workload import WorkloadSpec
 from repro.sampling.trace import TraceOp, generate_warp_trace
 from repro.sampling.simulator import SimulationResult, SMSimulator
-from repro.sampling.profiler import Profiler, ProfiledKernel
+from repro.sampling.gpu import GpuSimulationResult, GpuSimulator, WaveStatistics
+from repro.sampling.profiler import (
+    SIMULATION_SCOPES,
+    ProfiledKernel,
+    Profiler,
+    representative_blocks,
+)
 
 __all__ = [
+    "GpuSimulationResult",
+    "GpuSimulator",
     "InstructionSamples",
     "KernelProfile",
     "LaunchConfig",
@@ -46,10 +58,13 @@ __all__ = [
     "PCSample",
     "ProfiledKernel",
     "Profiler",
+    "SIMULATION_SCOPES",
     "SimulationResult",
     "SMSimulator",
     "StallReason",
     "TraceOp",
+    "WaveStatistics",
     "WorkloadSpec",
     "generate_warp_trace",
+    "representative_blocks",
 ]

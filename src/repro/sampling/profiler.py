@@ -9,7 +9,11 @@ workload specification it
 1. recovers the program structure (the static-analysis pre-pass it shares
    with the advisor),
 2. computes the occupancy of the launch,
-3. generates per-warp traces and simulates one wave on one SM,
+3. generates per-warp traces and simulates the launch — either one
+   representative wave on one SM (``simulation_scope="single_wave"``, the
+   fast default) or the full grid across every SM in dispatch waves
+   (``simulation_scope="whole_gpu"``, which *measures* tail-wave and
+   cross-SM imbalance effects instead of extrapolating),
 4. aggregates the samples into a :class:`~repro.sampling.sample.KernelProfile`
    with launch statistics attached, and
 5. can dump/load profiles as JSON for offline analysis.
@@ -26,11 +30,36 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.arch.machine import GpuArchitecture, VoltaV100, get_architecture
 from repro.arch.occupancy import OccupancyCalculator, OccupancyResult
 from repro.cubin.binary import Cubin
+from repro.sampling.gpu import GpuSimulationResult, GpuSimulator
 from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
 from repro.sampling.simulator import DEFAULT_MAX_CYCLES, SimulationResult, SMSimulator
 from repro.sampling.trace import generate_warp_trace
 from repro.sampling.workload import WorkloadSpec
 from repro.structure.program import ProgramStructure, build_program_structure
+
+#: The two simulation scopes: one representative wave on one SM with
+#: ``wave_cycles * waves`` extrapolation, or the full grid across every SM.
+SIMULATION_SCOPES = ("single_wave", "whole_gpu")
+
+
+def check_simulation_scope(scope: str) -> str:
+    """``scope`` if valid, else a uniform ``ValueError``."""
+    if scope not in SIMULATION_SCOPES:
+        raise ValueError(
+            f"unknown simulation scope {scope!r}; expected one of {SIMULATION_SCOPES}"
+        )
+    return scope
+
+
+def representative_blocks(grid_blocks: int, blocks_per_sm: int) -> List[int]:
+    """Distinct grid block ids spread across the grid for one simulated SM.
+
+    The resident-block count is clamped to the grid: a launch whose per-SM
+    residency exceeds its grid must not duplicate block ids (duplicated ids
+    would simulate more resident blocks than the grid has).
+    """
+    count = max(1, min(blocks_per_sm, grid_blocks))
+    return [(i * grid_blocks) // count for i in range(count)]
 
 
 @dataclass
@@ -44,9 +73,12 @@ class ProfiledKernel:
     config: LaunchConfig
     workload: WorkloadSpec
     occupancy: OccupancyResult
-    #: Raw simulator output; ``None`` when the profile was replayed from the
-    #: pipeline's on-disk cache instead of being simulated.
-    simulation: Optional[SimulationResult] = None
+    #: Raw simulator output (:class:`~repro.sampling.simulator
+    #: .SimulationResult` for the single-wave scope, :class:`~repro.sampling
+    #: .gpu.GpuSimulationResult` for the whole-GPU scope); ``None`` when the
+    #: profile was replayed from the pipeline's on-disk cache instead of
+    #: being simulated.
+    simulation: Optional[Union[SimulationResult, GpuSimulationResult]] = None
 
     @property
     def kernel_cycles(self) -> float:
@@ -63,11 +95,13 @@ class Profiler:
         sample_period: int = 32,
         keep_samples: bool = False,
         max_cycles: int = DEFAULT_MAX_CYCLES,
+        simulation_scope: str = "single_wave",
     ):
         self.architecture = architecture or VoltaV100
         self.sample_period = sample_period
         self.keep_samples = keep_samples
         self.max_cycles = max_cycles
+        self.simulation_scope = check_simulation_scope(simulation_scope)
 
     # ------------------------------------------------------------------
     def profile(
@@ -88,41 +122,58 @@ class Profiler:
         occupancy = self.occupancy_for(cubin, kernel_name, config, architecture)
 
         warps_per_block = math.ceil(config.threads_per_block / architecture.warp_size)
-        blocks_on_sm = max(1, occupancy.blocks_per_sm)
         total_grid_warps = config.grid_blocks * warps_per_block
 
-        # Pick representative blocks spread across the grid so that per-warp
-        # workload variation (imbalance) is visible to the simulated SM.
-        representative_blocks = [
-            (i * config.grid_blocks) // blocks_on_sm for i in range(blocks_on_sm)
-        ]
+        def trace_for_warp(global_warp_id: int):
+            return generate_warp_trace(
+                structure,
+                kernel_name,
+                workload,
+                architecture,
+                warp_id=global_warp_id,
+                num_warps=total_grid_warps,
+            )
 
-        traces = []
-        block_of_warp = []
-        for local_block, grid_block in enumerate(representative_blocks):
-            for warp_in_block in range(warps_per_block):
-                global_warp_id = grid_block * warps_per_block + warp_in_block
-                traces.append(
-                    generate_warp_trace(
-                        structure,
-                        kernel_name,
-                        workload,
-                        architecture,
-                        warp_id=global_warp_id,
-                        num_warps=total_grid_warps,
+        if self.simulation_scope == "whole_gpu":
+            simulation = GpuSimulator(
+                architecture,
+                sample_period=self.sample_period,
+                keep_samples=self.keep_samples,
+                max_cycles=self.max_cycles,
+            ).simulate(
+                kernel_name,
+                trace_for_warp,
+                grid_blocks=config.grid_blocks,
+                warps_per_block=warps_per_block,
+                blocks_per_sm=occupancy.blocks_per_sm_limit,
+            )
+            wave_cycles = simulation.wave_cycles
+            # Measured whole-kernel duration, not an extrapolation.
+            kernel_cycles: float = simulation.kernel_cycles
+        else:
+            # Pick representative blocks spread across the grid so that
+            # per-warp workload variation (imbalance) is visible to the one
+            # simulated SM.
+            traces = []
+            block_of_warp = []
+            blocks = representative_blocks(config.grid_blocks, occupancy.blocks_per_sm)
+            for local_block, grid_block in enumerate(blocks):
+                for warp_in_block in range(warps_per_block):
+                    traces.append(
+                        trace_for_warp(grid_block * warps_per_block + warp_in_block)
                     )
-                )
-                block_of_warp.append(local_block)
+                    block_of_warp.append(local_block)
 
-        simulator = SMSimulator(
-            architecture,
-            sample_period=self.sample_period,
-            keep_samples=self.keep_samples,
-            max_cycles=self.max_cycles,
-        )
-        simulation = simulator.simulate(kernel_name, traces, block_of_warp)
+            simulator = SMSimulator(
+                architecture,
+                sample_period=self.sample_period,
+                keep_samples=self.keep_samples,
+                max_cycles=self.max_cycles,
+            )
+            simulation = simulator.simulate(kernel_name, traces, block_of_warp)
+            wave_cycles = simulation.wave_cycles
+            kernel_cycles = simulation.wave_cycles * max(1.0, occupancy.waves)
 
-        waves = max(1.0, occupancy.waves)
         statistics = LaunchStatistics(
             kernel=kernel_name,
             config=config,
@@ -133,9 +184,10 @@ class Profiler:
             occupancy=occupancy.occupancy,
             occupancy_limiter=occupancy.limiter,
             waves=occupancy.waves,
-            wave_cycles=simulation.wave_cycles,
-            kernel_cycles=simulation.wave_cycles * waves,
+            wave_cycles=wave_cycles,
+            kernel_cycles=kernel_cycles,
             sample_period=self.sample_period,
+            simulation_scope=self.simulation_scope,
         )
 
         # Record in (function, offset) order — the canonical order of the

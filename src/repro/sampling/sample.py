@@ -136,11 +136,17 @@ class LaunchStatistics:
     occupancy: float
     occupancy_limiter: str
     waves: float
-    #: Cycles taken by the simulated wave on one SM.
+    #: Cycles taken by the simulated wave on one SM (the first full dispatch
+    #: wave under the whole-GPU scope).
     wave_cycles: int
-    #: Estimated total kernel cycles (wave cycles x number of waves).
+    #: Total kernel cycles: ``wave_cycles * waves`` extrapolation under the
+    #: single-wave scope, the *measured* sum of per-wave maxima under the
+    #: whole-GPU scope.
     kernel_cycles: float
     sample_period: int
+    #: Which simulation engine produced these statistics ("single_wave" or
+    #: "whole_gpu"); see :data:`repro.sampling.profiler.SIMULATION_SCOPES`.
+    simulation_scope: str = "single_wave"
 
     def to_dict(self) -> dict:
         return {
@@ -158,6 +164,7 @@ class LaunchStatistics:
             "wave_cycles": self.wave_cycles,
             "kernel_cycles": self.kernel_cycles,
             "sample_period": self.sample_period,
+            "simulation_scope": self.simulation_scope,
         }
 
     @classmethod
@@ -179,6 +186,7 @@ class LaunchStatistics:
             wave_cycles=payload["wave_cycles"],
             kernel_cycles=payload["kernel_cycles"],
             sample_period=payload["sample_period"],
+            simulation_scope=payload.get("simulation_scope", "single_wave"),
         )
 
 

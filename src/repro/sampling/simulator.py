@@ -21,6 +21,16 @@ multiprocessor of the configured architecture:
   scheduler issued that cycle, otherwise a *latency* sample carrying the
   sampled warp's PC and stall reason.
 
+Sampling is observation-neutral: recording a sample reads warp state through
+a side-effect-free probe, so changing ``sample_period`` can never change the
+simulated timing — the same property the hardware PC sampler has.
+
+The main loop is event-driven per scheduler: a scheduler whose warps are all
+blocked is skipped with a single integer comparison until the earliest cycle
+at which one of its warps could issue, and when no scheduler can issue at all
+the clock jumps straight to the next event (emitting the latency samples that
+fall inside the gap).
+
 The output is exactly what CUPTI hands GPA: per-instruction stall counts by
 reason, per-instruction issue counts, and kernel-level totals.
 """
@@ -43,6 +53,11 @@ from repro.sampling.trace import TraceOp
 DEFAULT_MAX_CYCLES = 4_000_000
 
 _FAR_FUTURE = 1 << 60
+
+#: Memory spaces whose accesses consume outstanding-transaction slots.
+_THROTTLED_SPACES = (
+    MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE,
+)
 
 
 @dataclass
@@ -181,10 +196,25 @@ class SMSimulator:
         cycle = 0
         next_sample_cycle = 0
         sample_index = 0
+        #: Set when a barrier arrival or a warp exit may have made a block
+        #: barrier releasable; cleared after ``release_barriers`` runs.
+        barrier_dirty = False
 
         # ------------------------------------------------------------------
-        def check(warp: _WarpState, now: int) -> Tuple[bool, StallReason, int]:
-            """Whether ``warp`` can issue at ``now``; else (reason, recheck cycle)."""
+        def check(
+            warp: _WarpState, now: int, commit: bool = True
+        ) -> Tuple[bool, StallReason, int]:
+            """Whether ``warp`` can issue at ``now``; else (reason, recheck cycle).
+
+            ``commit=False`` is the PC sampler's observation mode: the same
+            classification runs, but nothing is mutated — no fetch-timer
+            arming, no barrier-arrival registration, no outstanding-
+            transaction pops — so sampling is observation-neutral and the
+            simulated timing is bit-identical across sampling periods.
+            Keeping one routine for both modes means the sampler's stall
+            reasons can never drift from what the scheduler would see.
+            """
+            nonlocal barrier_dirty
             if warp.finished:
                 return False, StallReason.IDLE, _FAR_FUTURE
             if now < warp.ready_cycle:
@@ -194,12 +224,16 @@ class SMSimulator:
 
             # Instruction fetch stall charged to this op.
             if op.fetch_stall and warp.fetch_done_idx != warp.idx:
-                if warp.fetch_ready is None:
-                    warp.fetch_ready = now + op.fetch_stall
-                if now < warp.fetch_ready:
-                    return False, StallReason.INSTRUCTION_FETCH, warp.fetch_ready
-                warp.fetch_done_idx = warp.idx
-                warp.fetch_ready = None
+                fetch_ready = warp.fetch_ready
+                if fetch_ready is None:
+                    fetch_ready = now + op.fetch_stall
+                    if commit:
+                        warp.fetch_ready = fetch_ready
+                if now < fetch_ready:
+                    return False, StallReason.INSTRUCTION_FETCH, fetch_ready
+                if commit:
+                    warp.fetch_done_idx = warp.idx
+                    warp.fetch_ready = None
 
             # Barrier wait mask (variable-latency dependencies).
             wait_mask = instruction.control.wait_mask
@@ -226,25 +260,31 @@ class SMSimulator:
             # Block-wide synchronization.
             if instruction.is_synchronization and instruction.opcode == "BAR":
                 if not warp.sync_released:
-                    if not warp.sync_arrived:
+                    if commit and not warp.sync_arrived:
                         warp.sync_arrived = True
                         barrier_arrived[warp.block_id].add(warp.warp_id)
+                        barrier_dirty = True
                     return False, StallReason.SYNCHRONIZATION, _FAR_FUTURE
 
             # Memory throttle.
-            if instruction.is_memory and instruction.memory_space in (
-                MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE,
-            ):
-                while pending_memory and pending_memory[0] <= now:
-                    heapq.heappop(pending_memory)
-                if len(pending_memory) >= memory_limit:
-                    return False, StallReason.MEMORY_THROTTLE, pending_memory[0]
+            if instruction.is_memory and instruction.memory_space in _THROTTLED_SPACES:
+                if commit:
+                    while pending_memory and pending_memory[0] <= now:
+                        heapq.heappop(pending_memory)
+                    if len(pending_memory) >= memory_limit:
+                        return False, StallReason.MEMORY_THROTTLE, pending_memory[0]
+                else:
+                    in_flight = sum(
+                        1 for completion in pending_memory if completion > now
+                    )
+                    if in_flight >= memory_limit:
+                        return False, StallReason.MEMORY_THROTTLE, now + 1
 
             return True, StallReason.SELECTED, now
 
         # ------------------------------------------------------------------
         def issue(warp: _WarpState, now: int) -> None:
-            nonlocal unfinished, issued_instructions
+            nonlocal unfinished, issued_instructions, barrier_dirty
             op = warp.trace[warp.idx]
             instruction = op.instruction
             control = instruction.control
@@ -263,9 +303,7 @@ class SMSimulator:
                 for reg in instruction.defined_registers:
                     warp.reg_ready[reg.index] = now + latency
 
-            if instruction.is_memory and instruction.memory_space in (
-                MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE,
-            ):
+            if instruction.is_memory and instruction.memory_space in _THROTTLED_SPACES:
                 completion = now + max(1, op.latency)
                 for _ in range(max(1, op.transactions)):
                     heapq.heappush(pending_memory, completion)
@@ -281,6 +319,8 @@ class SMSimulator:
             if warp.idx >= len(warp.trace):
                 warp.finished = True
                 unfinished -= 1
+                # A barrier waiting only on this warp is now releasable.
+                barrier_dirty = True
 
         # ------------------------------------------------------------------
         def release_barriers(now: int) -> bool:
@@ -304,6 +344,9 @@ class SMSimulator:
                         if warp.warp_id in arrived:
                             warp.sync_released = True
                             warp.blocked_until = now
+                            # Wake the released warp's scheduler: its skip-ahead
+                            # horizon may sit far past the release.
+                            sched_next[w_index % num_schedulers] = now
                     barrier_arrived[block_id] = set()
                     released = True
             return released
@@ -338,8 +381,9 @@ class SMSimulator:
                 reason = sampled.last_reason
                 if reason in (StallReason.SELECTED, StallReason.IDLE, StallReason.OTHER):
                     # The cached reason is stale (the warp was not examined
-                    # this cycle); evaluate its state now.
-                    _ready, reason, _recheck = check(sampled, now)
+                    # this cycle); probe its state in observation mode so
+                    # sampling never perturbs execution.
+                    _ready, reason, _recheck = check(sampled, now, commit=False)
                     if reason in (StallReason.SELECTED, StallReason.IDLE):
                         reason = StallReason.NOT_SELECTED
                 function, offset = op.function, op.offset
@@ -360,28 +404,43 @@ class SMSimulator:
                 )
 
         # ------------------------------------------------------------------
-        # Main loop.
+        # Main loop (event-driven per scheduler).
+        #
+        # ``sched_next[s]`` is the earliest cycle at which scheduler ``s``
+        # could possibly issue: schedulers whose horizon lies in the future
+        # are skipped with one comparison instead of rescanning every warp.
+        # The horizon is exact for warp-local events (scoreboards, fetch
+        # timers, control stalls); cross-warp wakeups (block barrier
+        # releases) reset it explicitly in ``release_barriers``.
         # ------------------------------------------------------------------
-        while unfinished > 0 and cycle < self.max_cycles:
-            issued_key_by_scheduler: List[Optional[Tuple[str, int]]] = [None] * num_schedulers
+        sched_next = [0] * num_schedulers
+        issued_key_by_scheduler: List[Optional[Tuple[str, int]]] = [None] * num_schedulers
+        sample_period = self.sample_period
+        max_cycles = self.max_cycles
+
+        while unfinished > 0 and cycle < max_cycles:
             any_issued = False
-            min_recheck = _FAR_FUTURE
 
             for scheduler in range(num_schedulers):
+                issued_key_by_scheduler[scheduler] = None
+                if cycle < sched_next[scheduler]:
+                    continue
                 indices = scheduler_warps[scheduler]
                 if not indices:
+                    sched_next[scheduler] = _FAR_FUTURE
                     continue
                 count = len(indices)
                 start = last_issued_slot[scheduler]
                 chosen_slot = -1
+                min_next = _FAR_FUTURE
                 for probe in range(count):
                     slot = (start + probe) % count
                     warp = warps[indices[slot]]
                     if warp.finished:
                         continue
                     if cycle < warp.blocked_until:
-                        if warp.blocked_until < min_recheck:
-                            min_recheck = warp.blocked_until
+                        if warp.blocked_until < min_next:
+                            min_next = warp.blocked_until
                         continue
                     ready, reason, recheck = check(warp, cycle)
                     warp.last_reason = reason
@@ -389,8 +448,8 @@ class SMSimulator:
                         chosen_slot = slot
                         break
                     warp.blocked_until = recheck
-                    if recheck < min_recheck:
-                        min_recheck = recheck
+                    if recheck < min_next:
+                        min_next = recheck
                 if chosen_slot >= 0:
                     warp = warps[indices[chosen_slot]]
                     op = warp.current_op()
@@ -398,28 +457,36 @@ class SMSimulator:
                     issue(warp, cycle)
                     last_issued_slot[scheduler] = (chosen_slot + 1) % count
                     any_issued = True
+                    # An issuing scheduler may pick another warp next cycle.
+                    sched_next[scheduler] = cycle + 1
+                else:
+                    sched_next[scheduler] = min_next
 
-            released = release_barriers(cycle)
+            if barrier_dirty:
+                barrier_dirty = False
+                released = release_barriers(cycle)
+            else:
+                released = False
 
             if cycle >= next_sample_cycle:
                 scheduler = sample_index % num_schedulers
                 record_sample(scheduler, cycle, issued_key_by_scheduler[scheduler])
                 sample_index += 1
-                next_sample_cycle += self.sample_period
+                next_sample_cycle += sample_period
 
             if any_issued or released:
                 cycle += 1
             else:
-                # Nothing can issue until min_recheck: jump ahead, but emit the
-                # latency samples that fall inside the gap.
-                target = min(min_recheck, self.max_cycles)
+                # Nothing can issue until the earliest scheduler horizon:
+                # jump ahead, but emit the latency samples in the gap.
+                target = min(min(sched_next), max_cycles)
                 if target <= cycle:
                     target = cycle + 1
                 while next_sample_cycle < target:
                     scheduler = sample_index % num_schedulers
                     record_sample(scheduler, next_sample_cycle, None)
                     sample_index += 1
-                    next_sample_cycle += self.sample_period
+                    next_sample_cycle += sample_period
                 cycle = target
 
         return SimulationResult(

@@ -55,6 +55,28 @@ class TestOutputFormats:
             assert entry["report"]["kind"] == "advice_report"
 
 
+class TestSimulationScope:
+    def test_unknown_scope_is_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--case", CASE, "--scope", "per_warp"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_scope_reaches_the_result(self, capsys):
+        # A grid-limited case keeps the whole-GPU run cheap: its single
+        # under-full wave simulates fewer blocks than one full wave would.
+        assert cli_main([
+            "--case", "rodinia/particlefilter:block_increase",
+            "--scope", "whole_gpu", "--output", "jsonl", "--sample-period", "32",
+        ]) == 0
+        from repro.api.result import AdvisingResult
+
+        result = AdvisingResult.from_json(capsys.readouterr().out)
+        assert result.ok
+        assert result.simulation_scope == "whole_gpu"
+        assert result.report.profile.statistics.simulation_scope == "whole_gpu"
+
+
 class TestValidation:
     @pytest.mark.parametrize("top", ["0", "-3"])
     def test_nonpositive_top_is_rejected(self, top, capsys):

@@ -96,6 +96,17 @@ class TestValidation:
         with pytest.raises(ApiValidationError):
             AdvisingRequest(source="case", case_id="a/b:c", optimizers=())
 
+    def test_unknown_simulation_scope(self):
+        with pytest.raises(ApiValidationError):
+            AdvisingRequest(source="case", case_id="a/b:c", simulation_scope="per_warp")
+
+    def test_valid_simulation_scopes(self):
+        for scope in (None, "single_wave", "whole_gpu"):
+            request = AdvisingRequest(
+                source="case", case_id="a/b:c", simulation_scope=scope
+            )
+            assert request.simulation_scope == scope
+
 
 class TestSerialization:
     def test_case_request_round_trip_is_fixed_point(self):
@@ -140,6 +151,25 @@ class TestSerialization:
         assert not request.is_serializable()
         with pytest.raises(ApiSerializationError):
             request.to_dict()
+
+    def test_simulation_scope_round_trips(self):
+        request = (
+            AdvisingRequest.builder()
+            .case("rodinia/heartwall:loop_unrolling")
+            .whole_gpu()
+            .build()
+        )
+        assert request.simulation_scope == "whole_gpu"
+        dumped = request.to_dict()
+        assert dumped["simulation_scope"] == "whole_gpu"
+        reloaded = AdvisingRequest.from_dict(json.loads(json.dumps(dumped)))
+        assert reloaded == request
+        assert reloaded.to_dict() == dumped
+
+    def test_absent_simulation_scope_defaults_to_session(self):
+        payload = AdvisingRequest.builder().case("a/b:c").build().to_dict()
+        assert payload["simulation_scope"] is None
+        assert AdvisingRequest.from_dict(payload).simulation_scope is None
 
     def test_wrong_schema_version_is_rejected(self):
         request = AdvisingRequest.builder().case("a/b:c").build()

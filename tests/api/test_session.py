@@ -111,6 +111,64 @@ class TestAdvise:
         assert fine.profile.total_samples > coarse.profile.total_samples
 
 
+class TestSimulationScope:
+    """Session- and request-level simulation_scope plumbing.
+
+    The expensive whole-GPU engine itself is covered in
+    ``tests/sampling/test_gpu.py`` and the acceptance test; these tests
+    exercise stage selection, result stamping and pool-config propagation
+    without running multi-wave registry simulations.
+    """
+
+    def test_session_rejects_unknown_scope(self):
+        with pytest.raises(ApiValidationError):
+            AdvisingSession(simulation_scope="per_warp")
+
+    def test_default_scope_is_single_wave(self, session):
+        assert session.simulation_scope == "single_wave"
+        result = session.advise(request_for_case(SUBSET[0]))
+        assert result.simulation_scope == "single_wave"
+        assert result.report.profile.statistics.simulation_scope == "single_wave"
+
+    def test_request_scope_overrides_session(self, session):
+        request = request_for_case(SUBSET[0], simulation_scope="whole_gpu")
+        stage = session._profile_stage_for(request)
+        assert stage is not session.profile_stage
+        assert stage.simulation_scope == "whole_gpu"
+        # The dedicated stage is memoized per (period, cached, scope).
+        assert session._profile_stage_for(request) is stage
+
+    def test_whole_gpu_session_stamps_results(self):
+        whole = AdvisingSession(sample_period=8, simulation_scope="whole_gpu")
+        assert whole.profile_stage.simulation_scope == "whole_gpu"
+        result = whole.advise(request_for_case("no/such:case"))
+        assert result.simulation_scope == "whole_gpu"
+
+    def test_pool_config_carries_scope(self):
+        whole = AdvisingSession(sample_period=8, jobs=2, simulation_scope="whole_gpu")
+        config = whole._pool_config()
+        assert config["simulation_scope"] == "whole_gpu"
+
+    def test_profile_source_reports_the_profiles_recorded_scope(
+        self, session, toy_cubin, toy_workload
+    ):
+        from repro.sampling.profiler import Profiler
+        from repro.sampling.sample import LaunchConfig
+
+        # A tiny grid-limited launch keeps the whole-GPU collection cheap.
+        profiled = Profiler(sample_period=32, simulation_scope="whole_gpu").profile(
+            toy_cubin, "toy_kernel", LaunchConfig(2, 64), toy_workload
+        )
+        request = (
+            AdvisingRequest.builder().profile(profiled.profile, toy_cubin).build()
+        )
+        result = session.advise(request)  # session default is single_wave
+        assert result.ok
+        # Nothing was simulated: the result reports the scope the profile
+        # was actually collected with, not the session default.
+        assert result.simulation_scope == "whole_gpu"
+
+
 class TestCachePolicies:
     def test_default_policy_populates_and_replays(self, tmp_path):
         session = AdvisingSession(sample_period=8, cache=str(tmp_path))

@@ -46,6 +46,28 @@ class TestTable3:
         assert "rodinia/backprop" in text
         assert "geomean" in text
 
+    def test_aggregate_row_prints_the_geometric_mean_error(self):
+        # The row is labeled "geomean", so every aggregate in it must be the
+        # geometric mean — including the error column (regression: it used
+        # to print the arithmetic mean_error under the geomean label).
+        cases = [case_by_name("rodinia/backprop:warp_balance"),
+                 case_by_name("rodinia/gaussian:thread_increase")]
+        result = evaluate_table3(cases)
+        assert len(result.rows) == 2
+        geomean_line = format_table3(result).splitlines()[-1]
+        assert geomean_line.startswith("geomean")
+        assert f"{result.geomean_error * 100:6.1f}%" in geomean_line
+        if abs(result.geomean_error - result.mean_error) * 100 >= 0.1:
+            assert f"{result.mean_error * 100:6.1f}%" not in geomean_line
+
+    def test_simulation_scope_parameter_reaches_the_batch_config(self):
+        from repro.pipeline.batch import BatchConfig
+
+        config = BatchConfig(simulation_scope="whole_gpu")
+        session = config.build_session()
+        assert session.simulation_scope == "whole_gpu"
+        assert session.profile_stage.simulation_scope == "whole_gpu"
+
 
 class TestFigure7:
     def test_coverage_rows_for_selected_benchmarks(self):
@@ -69,3 +91,14 @@ class TestFigure1:
         assert 0.0 <= demo["stall_ratio"] <= 1.0
         assert demo["stall_ratio"] + demo["active_ratio"] == pytest.approx(1.0)
         assert demo["stalls_by_reason"]
+        assert demo["simulation_scope"] == "single_wave"
+
+    def test_sampling_demo_runs_under_the_whole_gpu_scope(self):
+        demo = sampling_model_demo(sample_period=32, simulation_scope="whole_gpu")
+        assert demo["simulation_scope"] == "whole_gpu"
+        assert demo["total_samples"] == demo["active_samples"] + demo["latency_samples"]
+        # The sample stream now comes from every SM, so it is far denser
+        # than the single-SM demo at the same period.
+        single = sampling_model_demo(sample_period=32)
+        assert demo["total_samples"] > single["total_samples"]
+        assert demo["kernel_cycles"] >= demo["wave_cycles"]

@@ -157,6 +157,14 @@ class TestCacheKey:
             **{**key_inputs, "workload": four}
         ) != profile_cache_key(**{**key_inputs, "workload": eight})
 
+    def test_simulation_scope_invalidates(self, key_inputs):
+        baseline = profile_cache_key(**key_inputs)
+        whole = profile_cache_key(**{**key_inputs, "simulation_scope": "whole_gpu"})
+        assert whole != baseline
+        assert profile_cache_key(
+            **{**key_inputs, "simulation_scope": "single_wave"}
+        ) == baseline
+
     def test_max_cycles_invalidates(self, key_inputs):
         baseline = profile_cache_key(**key_inputs)
         assert profile_cache_key(**{**key_inputs, "max_cycles": 10_000}) != baseline
@@ -441,3 +449,35 @@ class TestProfileStageCaching:
         truncated.run(request)
         assert truncated.cache.hits == 0
         assert truncated.cache.misses == 1
+
+    def test_changed_simulation_scope_misses(
+        self, tmp_path, toy_cubin, toy_workload
+    ):
+        """A single-wave profile must never replay as a whole-GPU one."""
+        import dataclasses
+
+        from repro.arch.machine import VoltaV100 as V100
+        from repro.sampling.profiler import Profiler
+
+        tiny = dataclasses.replace(V100, num_sms=2)
+        config = LaunchConfig(grid_blocks=6, threads_per_block=64)
+        request = ProfileRequest(
+            cubin=toy_cubin, kernel="toy_kernel", config=config, workload=toy_workload
+        )
+        single = ProfileStage(profiler=Profiler(tiny, sample_period=8), cache=tmp_path)
+        single.run(request)
+        whole = ProfileStage(
+            profiler=Profiler(tiny, sample_period=8, simulation_scope="whole_gpu"),
+            cache=tmp_path,
+        )
+        first = whole.run(request)
+        assert whole.cache.hits == 0
+        assert whole.cache.misses == 1
+        assert first.profile.statistics.simulation_scope == "whole_gpu"
+        # Both entries now coexist; each scope replays only its own.
+        assert len(whole.cache) == 2
+        replay = whole.run(request)
+        assert replay.simulation is None
+        assert replay.profile.statistics.simulation_scope == "whole_gpu"
+        single_replay = single.run(request)
+        assert single_replay.profile.statistics.simulation_scope == "single_wave"

@@ -1,12 +1,21 @@
 """Tests for the profiler facade and the profile data model."""
 
+import dataclasses
+import math
+
 import pytest
 
 from repro.arch.machine import VoltaV100
-from repro.sampling.profiler import Profiler
+from repro.sampling.gpu import GpuSimulationResult
+from repro.sampling.profiler import Profiler, representative_blocks
 from repro.sampling.sample import KernelProfile, LaunchConfig
 from repro.sampling.stall_reasons import StallReason
 from repro.sampling.workload import WorkloadSpec
+
+#: A small Volta keeps whole-GPU profiles cheap: 4 SMs, and few enough warp
+#: slots that modest grids still need several dispatch waves.
+TinyVolta = dataclasses.replace(VoltaV100, num_sms=4, max_blocks_per_sm=2,
+                                max_warps_per_sm=16)
 
 
 class TestLaunchConfig:
@@ -73,6 +82,17 @@ class TestProfiler:
         assert result.occupancy.blocks_per_sm == 1
         assert result.profile.statistics.occupancy_limiter == "grid"
 
+    def test_representative_blocks_are_distinct_and_clamped(self):
+        # blocks_per_sm > grid_blocks must not duplicate block ids (that
+        # would simulate more resident blocks than the grid has).
+        assert representative_blocks(3, 8) == [0, 1, 2]
+        assert representative_blocks(1, 5) == [0]
+        # Normal spreads stay distinct and cover the grid's span.
+        spread = representative_blocks(100, 4)
+        assert len(set(spread)) == 4
+        assert spread[0] == 0 and spread[-1] == 75
+        assert representative_blocks(7, 7) == list(range(7))
+
     def test_grid_position_dependent_workloads_profile_cleanly(self, toy_cubin):
         # Per-warp trip counts that depend on the grid position exercise the
         # representative-block selection of the profiler.
@@ -83,3 +103,101 @@ class TestProfiler:
         result = profiler.profile(toy_cubin, "toy_kernel", LaunchConfig(320, 128), workload)
         assert result.profile.total_samples > 0
         assert result.simulation.issued_instructions > 0
+
+
+class TestSimulationScopes:
+    """The whole-GPU scope and the launch shapes both scopes must handle."""
+
+    def _profile(self, cubin, workload, config, scope, architecture=TinyVolta):
+        profiler = Profiler(architecture, sample_period=8, simulation_scope=scope)
+        return profiler.profile(cubin, "toy_kernel", config, workload)
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler(VoltaV100, simulation_scope="per_warp")
+
+    def test_whole_gpu_measures_instead_of_extrapolating(self, toy_cubin, toy_workload):
+        config = LaunchConfig(grid_blocks=19, threads_per_block=128)
+        profiled = self._profile(toy_cubin, toy_workload, config, "whole_gpu")
+        statistics = profiled.profile.statistics
+        simulation = profiled.simulation
+        assert isinstance(simulation, GpuSimulationResult)
+        assert statistics.simulation_scope == "whole_gpu"
+        assert statistics.kernel_cycles == simulation.kernel_cycles
+        assert statistics.wave_cycles == simulation.waves[0].cycles
+        assert simulation.num_waves == math.ceil(
+            19 / (TinyVolta.num_sms * profiled.occupancy.blocks_per_sm_limit)
+        )
+
+    def test_single_wave_still_extrapolates(self, toy_cubin, toy_workload):
+        config = LaunchConfig(grid_blocks=19, threads_per_block=128)
+        profiled = self._profile(toy_cubin, toy_workload, config, "single_wave")
+        statistics = profiled.profile.statistics
+        assert statistics.simulation_scope == "single_wave"
+        assert statistics.kernel_cycles == pytest.approx(
+            statistics.wave_cycles * max(1.0, profiled.occupancy.waves)
+        )
+
+    def test_scope_survives_profile_serialization(self, toy_cubin, toy_workload):
+        config = LaunchConfig(grid_blocks=9, threads_per_block=64)
+        profiled = self._profile(toy_cubin, toy_workload, config, "whole_gpu")
+        restored = KernelProfile.from_json(profiled.profile.to_json())
+        assert restored.statistics.simulation_scope == "whole_gpu"
+        assert restored.statistics.kernel_cycles == profiled.profile.statistics.kernel_cycles
+        assert restored.to_dict() == profiled.profile.to_dict()
+
+    @pytest.mark.parametrize("scope", ["single_wave", "whole_gpu"])
+    def test_grid_limited_launch(self, toy_cubin, toy_workload, scope):
+        # Fewer blocks than SMs: limiter == "grid", waves < 1.
+        config = LaunchConfig(grid_blocks=2, threads_per_block=128)
+        profiled = self._profile(toy_cubin, toy_workload, config, scope)
+        assert profiled.occupancy.limiter == "grid"
+        assert profiled.occupancy.waves < 1.0
+        assert profiled.profile.total_samples > 0
+        statistics = profiled.profile.statistics
+        if scope == "whole_gpu":
+            # One under-full wave: measured == that wave, no rounding up.
+            assert statistics.kernel_cycles == statistics.wave_cycles
+            assert profiled.simulation.num_waves == 1
+            assert profiled.simulation.waves[0].occupied_sms == 2
+        else:
+            # The single-wave estimate never extrapolates below one wave.
+            assert statistics.kernel_cycles == statistics.wave_cycles
+
+    @pytest.mark.parametrize("scope", ["single_wave", "whole_gpu"])
+    def test_fractional_waves_launch(self, toy_cubin, toy_workload, scope):
+        # capacity = 4 SMs x 2 blocks = 8 blocks/wave -> 20 blocks = 2.5 waves.
+        config = LaunchConfig(grid_blocks=20, threads_per_block=128)
+        profiled = self._profile(toy_cubin, toy_workload, config, scope)
+        assert profiled.occupancy.waves == pytest.approx(2.5)
+        assert profiled.profile.total_samples > 0
+        if scope == "whole_gpu":
+            simulation = profiled.simulation
+            assert simulation.num_waves == 3
+            assert simulation.waves[-1].blocks == 4
+            assert simulation.waves[-1].occupied_sms == 4
+            assert profiled.profile.statistics.kernel_cycles == sum(
+                wave.cycles for wave in simulation.waves
+            )
+
+    @pytest.mark.parametrize("scope", ["single_wave", "whole_gpu"])
+    def test_partial_last_warp_launch(self, toy_cubin, toy_workload, scope):
+        # threads_per_block not a multiple of warp_size: ceil() adds a
+        # partial warp to every block; both engines must stay consistent.
+        config = LaunchConfig(grid_blocks=10, threads_per_block=100)
+        profiled = self._profile(toy_cubin, toy_workload, config, scope)
+        warps_per_block = math.ceil(100 / TinyVolta.warp_size)
+        assert warps_per_block == 4
+        assert profiled.profile.total_samples > 0
+        if scope == "whole_gpu":
+            total_warps = 10 * warps_per_block
+            # All grid warps executed: issue totals count every warp's ops.
+            assert profiled.simulation.issued_instructions > 0
+            assert sum(w.blocks for w in profiled.simulation.waves) == 10
+            assert total_warps == 40
+
+    def test_whole_gpu_deterministic_across_runs(self, toy_cubin, toy_workload):
+        config = LaunchConfig(grid_blocks=12, threads_per_block=128)
+        first = self._profile(toy_cubin, toy_workload, config, "whole_gpu")
+        second = self._profile(toy_cubin, toy_workload, config, "whole_gpu")
+        assert first.profile.to_dict() == second.profile.to_dict()

@@ -103,6 +103,92 @@ class TestSimulation:
             SMSimulator(VoltaV100, sample_period=0)
 
 
+def build_fetch_pressure_cubin():
+    """A kernel whose code footprint exceeds the V100 i-cache (12 KiB).
+
+    With >768 static instructions the trace generator charges periodic
+    instruction-fetch stalls, the stall class whose bookkeeping
+    (``fetch_ready`` arming) the sampler must never touch.
+    """
+    builder = CubinBuilder(module_name="fetch_pressure")
+    k = builder.kernel("fat_kernel", source_file="fat.cu")
+    k.at_line(1)
+    k.mov_imm(2, 0x100)
+    k.mov_imm(8, 0)
+    k.mov_imm(9, 4)
+    k.at_line(2)
+    k.isetp(0, 8, 9, "LT")
+    with k.loop("body", predicate=p(0)):
+        k.at_line(2)
+        k.iadd(8, 8, imm(1))
+        k.at_line(3)
+        k.ldg(4, 2)
+        for index in range(820):
+            k.at_line(4 + index % 8)
+            k.ffma(10 + index % 32, 4, 4, 10 + index % 32)
+        k.at_line(2)
+        k.isetp(0, 8, 9, "LT")
+    k.exit()
+    builder.add_function(k.build())
+    return builder.build()
+
+
+class TestObservationNeutrality:
+    """Sampling must never perturb execution (the CUPTI profiler cannot).
+
+    Regression guard for the heisenbug where ``record_sample`` re-evaluated
+    a stale stall reason through ``check()``, which arms fetch timers,
+    registers barrier arrivals and pops outstanding memory transactions —
+    so changing ``sample_period`` changed the simulated timing.
+    """
+
+    PERIODS = (1, 3, 8, 32, 128)
+
+    def _timing(self, traces, blocks, period):
+        result = SMSimulator(VoltaV100, sample_period=period).simulate(
+            "toy_kernel", traces, blocks)
+        return (result.wave_cycles, result.issued_instructions)
+
+    @pytest.mark.parametrize("workload", [
+        WorkloadSpec(loop_trip_counts={12: 12}),
+        WorkloadSpec(loop_trip_counts={12: lambda w, t: 20 if w % 4 == 0 else 3}),
+        WorkloadSpec(loop_trip_counts={12: 10}, uncoalesced_lines={13},
+                     uncoalesced_transactions=8),
+    ], ids=["uniform", "imbalanced-barrier", "memory-throttle"])
+    def test_wave_cycles_invariant_across_sample_periods(self, toy_cubin, workload):
+        traces, blocks = build_traces(toy_cubin, "toy_kernel", workload, num_warps=12)
+        timings = {
+            period: self._timing(traces, blocks, period) for period in self.PERIODS
+        }
+        assert len(set(timings.values())) == 1, timings
+
+    def test_fetch_stall_timing_invariant_across_sample_periods(self):
+        cubin = build_fetch_pressure_cubin()
+        structure = build_program_structure(cubin)
+        workload = WorkloadSpec()
+        traces = [generate_warp_trace(structure, "fat_kernel", workload, VoltaV100,
+                                      warp, 8) for warp in range(8)]
+        assert any(op.fetch_stall for trace in traces for op in trace), (
+            "kernel must exceed the i-cache for this regression test")
+        blocks = [warp // 4 for warp in range(8)]
+        timings = {}
+        for period in self.PERIODS:
+            result = SMSimulator(VoltaV100, sample_period=period).simulate(
+                "fat_kernel", traces, blocks)
+            timings[period] = (result.wave_cycles, result.issued_instructions)
+        assert len(set(timings.values())) == 1, timings
+
+    def test_sampling_density_only_changes_sample_counts(self, toy_traces):
+        traces, blocks = toy_traces
+        dense = SMSimulator(VoltaV100, sample_period=2).simulate(
+            "toy_kernel", traces, blocks)
+        sparse = SMSimulator(VoltaV100, sample_period=64).simulate(
+            "toy_kernel", traces, blocks)
+        assert dense.total_samples > sparse.total_samples
+        assert dense.wave_cycles == sparse.wave_cycles
+        assert dense.issued_instructions == sparse.issued_instructions
+
+
 class TestMemoryThrottle:
     def test_uncoalesced_accesses_cause_throttle_stalls(self):
         builder = CubinBuilder()

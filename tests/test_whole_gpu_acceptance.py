@@ -1,0 +1,138 @@
+"""Acceptance: the whole-GPU engine on a real multi-wave registry case.
+
+``rodinia/heartwall:loop_unrolling`` launches 510 blocks — 3 full dispatch
+waves plus a 30-block tail on the simulated V100 — making it the cheapest
+registry case that genuinely exercises multi-wave dispatch.  The whole run
+is simulated once per sample period (module-scoped fixtures); the tests
+assert the acceptance criteria of the whole-GPU engine:
+
+* kernel cycles are *measured* (the sum of per-wave maxima) and differ from
+  the ``wave_cycles * waves`` extrapolation only through tail/imbalance
+  effects;
+* the run is deterministic and observation-neutral (bit-identical kernel
+  cycles across sample periods);
+* profiles round-trip through ``to_dict``/``from_dict``;
+* whole-GPU entries never collide with single-wave entries in the
+  ``ProfileCache``.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.api.request import request_for_case
+from repro.api.session import AdvisingSession
+from repro.sampling.gpu import GpuSimulationResult
+from repro.sampling.sample import KernelProfile
+
+CASE = "rodinia/heartwall:loop_unrolling"
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("whole-gpu-cache"))
+
+
+@pytest.fixture(scope="module")
+def whole_gpu(cache_dir):
+    session = AdvisingSession(
+        sample_period=32, cache=cache_dir, simulation_scope="whole_gpu"
+    )
+    return session, session.profile(request_for_case(CASE))
+
+
+@pytest.fixture(scope="module")
+def whole_gpu_other_period(cache_dir):
+    session = AdvisingSession(
+        sample_period=128, cache=cache_dir, simulation_scope="whole_gpu"
+    )
+    return session.profile(request_for_case(CASE))
+
+
+def test_case_is_genuinely_multi_wave(whole_gpu):
+    session, profiled = whole_gpu
+    assert profiled.occupancy.waves > 1.0
+    simulation = profiled.simulation
+    assert isinstance(simulation, GpuSimulationResult)
+    grid = profiled.config.grid_blocks
+    per_wave = profiled.occupancy.blocks_per_sm_limit * session.architecture.num_sms
+    assert simulation.num_waves == math.ceil(grid / per_wave)
+    assert simulation.num_waves > 1
+    # The tail wave is partial and leaves SMs idle.
+    tail = simulation.waves[-1]
+    assert tail.blocks == grid - (simulation.num_waves - 1) * per_wave
+    assert tail.occupied_sms == min(tail.blocks, session.architecture.num_sms)
+
+
+def test_kernel_cycles_are_measured_not_extrapolated(whole_gpu):
+    _session, profiled = whole_gpu
+    simulation = profiled.simulation
+    statistics = profiled.profile.statistics
+    assert statistics.simulation_scope == "whole_gpu"
+    # Measured duration is exactly the sum of per-wave maxima...
+    assert statistics.kernel_cycles == sum(wave.cycles for wave in simulation.waves)
+    assert statistics.wave_cycles == simulation.waves[0].cycles
+    # ...and differs from the single-wave extrapolation only via measured
+    # tail/imbalance effects: the same order of magnitude, not the same
+    # number (the tail wave runs fewer blocks but still costs real cycles).
+    extrapolated = simulation.extrapolated_kernel_cycles
+    assert extrapolated > 0
+    assert statistics.kernel_cycles != pytest.approx(extrapolated, rel=1e-6) or (
+        # A grid dividing evenly into identical waves may legitimately match.
+        sum(w.blocks for w in simulation.waves) % len(simulation.waves) == 0
+    )
+    assert 0.25 < statistics.kernel_cycles / extrapolated < 4.0
+
+
+def test_deterministic_and_observation_neutral_across_runs(
+    whole_gpu, whole_gpu_other_period
+):
+    _session, first = whole_gpu
+    second = whole_gpu_other_period
+    # Two independent whole-GPU runs at different sampling periods: the
+    # timing must be bit-identical (determinism + observation neutrality).
+    assert (
+        first.profile.statistics.kernel_cycles
+        == second.profile.statistics.kernel_cycles
+    )
+    assert first.profile.statistics.wave_cycles == second.profile.statistics.wave_cycles
+    assert first.simulation.issued_instructions == second.simulation.issued_instructions
+    assert [w.cycles for w in first.simulation.waves] == [
+        w.cycles for w in second.simulation.waves
+    ]
+
+
+def test_profile_round_trips_through_the_wire_format(whole_gpu):
+    _session, profiled = whole_gpu
+    dumped = profiled.profile.to_dict()
+    reloaded = KernelProfile.from_dict(json.loads(json.dumps(dumped)))
+    assert reloaded.to_dict() == dumped
+    assert reloaded.statistics.simulation_scope == "whole_gpu"
+    assert reloaded.statistics.kernel_cycles == profiled.profile.statistics.kernel_cycles
+
+
+def test_scopes_never_collide_in_the_profile_cache(whole_gpu, cache_dir):
+    session, profiled = whole_gpu
+    entries_before = len(session.cache)
+    single_session = AdvisingSession(
+        sample_period=32, cache=cache_dir, simulation_scope="single_wave"
+    )
+    single = single_session.profile(request_for_case(CASE))
+    # The single-wave profile missed (simulated fresh) and stored its own
+    # entry next to the whole-GPU one.
+    assert single.simulation is not None
+    assert single_session.cache.hits == 0
+    assert len(single_session.cache) == entries_before + 1
+    assert single.profile.statistics.simulation_scope == "single_wave"
+    assert single.profile.statistics.kernel_cycles != pytest.approx(
+        profiled.profile.statistics.kernel_cycles
+    )
+    # And a warm whole-GPU session replays only the whole-GPU entry.
+    warm = AdvisingSession(
+        sample_period=32, cache=cache_dir, simulation_scope="whole_gpu"
+    )
+    replay = warm.profile(request_for_case(CASE))
+    assert replay.simulation is None
+    assert warm.cache.hits == 1
+    assert replay.profile.to_dict() == profiled.profile.to_dict()
