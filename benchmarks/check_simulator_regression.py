@@ -1,0 +1,91 @@
+"""Benchmark regression gate for the simulator throughput smoke.
+
+Compares a freshly measured ``simulator_smoke`` summary against the
+committed reference (``BENCH_simulator.json`` at the repository root) and
+fails when throughput dropped by more than the allowed fraction — so an
+accidental slow-down of the event-driven simulator cannot land silently::
+
+    PYTHONPATH=src python benchmarks/simulator_smoke.py --output fresh.json
+    PYTHONPATH=src python benchmarks/check_simulator_regression.py fresh.json
+
+The gate is one-sided: faster is always fine.  The committed reference is
+refreshed by hand — rerun ``simulator_smoke.py --output
+BENCH_simulator.json`` and commit the result whenever the perf profile
+changes intentionally (CI additionally uploads each fresh measurement as a
+build artifact for trajectory tracking).  The default tolerance of 30%
+allows for runner-to-runner hardware variance; genuine regressions (the
+PR 3 event-driven rewrite was a 2.5x swing) blow well past it.
+
+Summaries are only compared when they measured the same workload: the case
+list, simulation scope, memory model and sample period must all match, so
+a whole-GPU or hierarchy measurement can never be judged against the flat
+single-wave reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_REFERENCE = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+def check(fresh: dict, reference: dict, max_drop: float) -> str:
+    """An error message if ``fresh`` regressed past ``max_drop``, else ''."""
+    for summary, origin in ((fresh, "fresh"), (reference, "reference")):
+        if summary.get("benchmark") != "simulator_smoke":
+            return f"{origin} summary is not a simulator_smoke result"
+    fresh_rate = fresh.get("cycles_per_second") or 0
+    reference_rate = reference.get("cycles_per_second") or 0
+    if reference_rate <= 0:
+        return f"reference throughput is {reference_rate}; regenerate the baseline"
+    # Throughput is only comparable when the workload configuration is
+    # identical; "memory_model" is absent from pre-hierarchy references and
+    # defaults to the behaviour they measured (flat).
+    comparable = ("cases", ("simulation_scope", "single_wave"),
+                  ("memory_model", "flat"), ("sample_period", 8))
+    for key in comparable:
+        key, default = key if isinstance(key, tuple) else (key, None)
+        if fresh.get(key, default) != reference.get(key, default):
+            return (
+                f"{key} differs; the comparison is meaningless "
+                f"(fresh {fresh.get(key, default)!r} vs reference "
+                f"{reference.get(key, default)!r})"
+            )
+    floor = reference_rate * (1.0 - max_drop)
+    if fresh_rate < floor:
+        drop = 1.0 - fresh_rate / reference_rate
+        return (
+            f"simulator throughput regressed {drop:.1%}: "
+            f"{fresh_rate:,} cycles/s vs reference {reference_rate:,} "
+            f"(allowed drop {max_drop:.0%}, floor {floor:,.0f})"
+        )
+    return ""
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly measured simulator_smoke JSON")
+    parser.add_argument("--reference", default=str(DEFAULT_REFERENCE),
+                        help="committed baseline JSON (default: repo root)")
+    parser.add_argument("--max-drop", type=float, default=0.30, metavar="FRACTION",
+                        help="maximum tolerated throughput drop (default 0.30)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    reference = json.loads(Path(args.reference).read_text())
+    error = check(fresh, reference, args.max_drop)
+    if error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {fresh['cycles_per_second']:,} cycles/s vs reference "
+        f"{reference['cycles_per_second']:,} (within {args.max_drop:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

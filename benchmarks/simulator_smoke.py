@@ -31,16 +31,20 @@ from bench_pipeline_batch import CASES
 from repro.api.request import request_for_case
 from repro.api.session import AdvisingSession
 from repro.sampling.gpu import GpuSimulationResult
+from repro.sampling.memory import MEMORY_MODELS
+from repro.sampling.profiler import SIMULATION_SCOPES
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 #: The bench_pipeline_batch subset the smoke run profiles.
 SMOKE_CASES = CASES[:3]
 
 
-def run_smoke(case_ids, sample_period: int = 8, simulation_scope: str = "single_wave") -> dict:
+def run_smoke(case_ids, sample_period: int = 8, simulation_scope: str = "single_wave",
+              memory_model: str = "flat") -> dict:
     """Profile every case variant once; return the throughput summary."""
     session = AdvisingSession(
-        sample_period=sample_period, simulation_scope=simulation_scope
+        sample_period=sample_period, simulation_scope=simulation_scope,
+        memory_model=memory_model,
     )
     per_case = []
     simulated_cycles = 0
@@ -70,6 +74,7 @@ def run_smoke(case_ids, sample_period: int = 8, simulation_scope: str = "single_
     return {
         "benchmark": "simulator_smoke",
         "simulation_scope": simulation_scope,
+        "memory_model": memory_model,
         "sample_period": sample_period,
         "python": platform.python_version(),
         "cases": list(case_ids),
@@ -88,13 +93,16 @@ def main(argv=None) -> int:
                         help=f"how many smoke cases to run (default {len(SMOKE_CASES)})")
     parser.add_argument("--sample-period", type=int, default=8)
     parser.add_argument("--scope", default="single_wave",
-                        choices=("single_wave", "whole_gpu"), dest="simulation_scope")
+                        choices=SIMULATION_SCOPES, dest="simulation_scope")
+    parser.add_argument("--memory-model", default="flat",
+                        choices=MEMORY_MODELS, dest="memory_model")
     args = parser.parse_args(argv)
 
     summary = run_smoke(
         SMOKE_CASES[: args.cases],
         sample_period=args.sample_period,
         simulation_scope=args.simulation_scope,
+        memory_model=args.memory_model,
     )
     Path(args.output).write_text(json.dumps(summary, indent=2) + "\n")
     print(

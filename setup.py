@@ -1,9 +1,12 @@
 """Setuptools shim.
 
-The canonical metadata lives in ``pyproject.toml``; this file exists so that
-environments without the ``wheel`` package (where PEP 660 editable installs
-are unavailable) can still do ``pip install -e . --no-use-pep517`` or
-``python setup.py develop``.
+The canonical metadata lives in ``pyproject.toml`` (src layout, console
+script, optional test dependencies); this file exists so that environments
+without the ``wheel`` package (where PEP 660 editable installs are
+unavailable) can still do ``pip install -e . --no-use-pep517`` or
+``python setup.py develop``.  CI's ``package`` job proves the sdist/wheel
+path works by installing into a clean prefix and running the CLI without
+``PYTHONPATH``.
 """
 
 from setuptools import setup

@@ -61,6 +61,7 @@ from repro.cubin.builder import CubinBuilder, KernelBuilder
 from repro.optimizers.base import OptimizationAdvice, Optimizer, OptimizerCategory
 from repro.optimizers.registry import OptimizerRegistry, default_optimizers
 from repro.sampling.gpu import GpuSimulationResult, GpuSimulator
+from repro.sampling.memory import MEMORY_MODELS, MemoryStatistics
 from repro.sampling.profiler import SIMULATION_SCOPES, ProfiledKernel, Profiler
 from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
 from repro.sampling.stall_reasons import DetailedStallReason, StallReason
@@ -105,6 +106,8 @@ __all__ = [
     "Profiler",
     "ProgramStructure",
     "RequestBuilder",
+    "MEMORY_MODELS",
+    "MemoryStatistics",
     "SIMULATION_SCOPES",
     "profile_cache_key",
     "request_for_case",

@@ -43,6 +43,7 @@ from repro.arch.machine import architecture_flags
 from repro.cubin.binary import Cubin
 from repro.pipeline.batch import error_summary
 from repro.pipeline.runner import ProgressEvent
+from repro.sampling.memory import MEMORY_MODELS
 from repro.sampling.profiler import SIMULATION_SCOPES
 from repro.sampling.sample import KernelProfile
 from repro.workloads.registry import case_by_name, case_names
@@ -74,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "simulated wave (default), 'whole_gpu' measures the "
                              "full grid across every SM (slower, sees tail waves "
                              "and cross-SM imbalance)")
+    parser.add_argument("--memory-model", default="flat", choices=MEMORY_MODELS,
+                        dest="memory_model", metavar="MODEL",
+                        help="memory model: 'flat' services every access at its "
+                             "opcode latency (default), 'hierarchy' coalesces "
+                             "warp accesses into 32-byte sectors and runs them "
+                             "through L1/L2/DRAM with MSHR and bandwidth "
+                             "backpressure (reports hit-rate statistics)")
     parser.add_argument("--optimized", action="store_true",
                         help="analyze the hand-optimized variant instead of the baseline")
     parser.add_argument("--profile", help="path to a dumped kernel profile (JSON)")
@@ -98,6 +106,7 @@ def _session(args: argparse.Namespace) -> AdvisingSession:
         cache=args.cache_dir,
         jobs=args.jobs,
         simulation_scope=args.simulation_scope,
+        memory_model=args.memory_model,
     )
 
 
@@ -247,6 +256,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--sample-period must be positive")
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+
+    if args.case:
+        # Fail with a clean usage error, not a captured traceback, when the
+        # case label does not resolve.
+        try:
+            case_by_name(args.case)
+        except KeyError:
+            parser.error(
+                f"unknown benchmark case {args.case!r}; run --list to see "
+                "the available cases"
+            )
 
     if args.list:
         for name in case_names():

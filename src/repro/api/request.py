@@ -29,6 +29,7 @@ from repro.api.schema import (
 )
 from repro.arch.machine import ArchitectureError, get_architecture
 from repro.cubin.binary import Cubin
+from repro.sampling.memory import check_memory_model
 from repro.sampling.profiler import check_simulation_scope
 from repro.sampling.sample import KernelProfile, LaunchConfig
 from repro.sampling.workload import WorkloadSpec
@@ -76,6 +77,7 @@ class AdvisingRequest:
     arch_flag: Optional[str] = None
     sample_period: Optional[int] = None
     simulation_scope: Optional[str] = None
+    memory_model: Optional[str] = None
     optimizers: Optional[Tuple[str, ...]] = None
     cache_policy: str = "default"
     label: Optional[str] = None
@@ -144,6 +146,11 @@ class AdvisingRequest:
                 check_simulation_scope(self.simulation_scope)
             except ValueError as exc:
                 raise ApiValidationError(str(exc)) from exc
+        if self.memory_model is not None:
+            try:
+                check_memory_model(self.memory_model)
+            except ValueError as exc:
+                raise ApiValidationError(str(exc)) from exc
         if self.arch_flag is not None:
             try:
                 get_architecture(self.arch_flag)
@@ -202,6 +209,7 @@ class AdvisingRequest:
                 "arch_flag": self.arch_flag,
                 "sample_period": self.sample_period,
                 "simulation_scope": self.simulation_scope,
+                "memory_model": self.memory_model,
                 "optimizers": list(self.optimizers) if self.optimizers is not None else None,
                 "cache_policy": self.cache_policy,
                 "label": self.label,
@@ -228,6 +236,7 @@ class AdvisingRequest:
             arch_flag=payload.get("arch_flag"),
             sample_period=payload.get("sample_period"),
             simulation_scope=payload.get("simulation_scope"),
+            memory_model=payload.get("memory_model"),
             optimizers=tuple(optimizers) if optimizers is not None else None,
             cache_policy=payload.get("cache_policy", "default"),
             label=payload.get("label"),
@@ -306,6 +315,14 @@ class RequestBuilder:
         """Simulate the full grid across every SM instead of extrapolating."""
         return self.simulation_scope("whole_gpu")
 
+    def memory_model(self, model: str) -> "RequestBuilder":
+        self._fields["memory_model"] = model
+        return self
+
+    def memory_hierarchy(self) -> "RequestBuilder":
+        """Service memory through the detailed L1/L2/DRAM hierarchy model."""
+        return self.memory_model("hierarchy")
+
     def optimizers(self, *names: str) -> "RequestBuilder":
         self._fields["optimizers"] = tuple(names)
         return self
@@ -349,6 +366,7 @@ def request_for_case(
     cache_policy: str = "default",
     optimizers: Optional[Tuple[str, ...]] = None,
     simulation_scope: Optional[str] = None,
+    memory_model: Optional[str] = None,
 ) -> AdvisingRequest:
     """The request for one benchmark case (id, registry case, or ad-hoc case).
 
@@ -365,7 +383,7 @@ def request_for_case(
         return AdvisingRequest(
             source="case", case_id=case_or_id, variant=variant,
             arch_flag=arch_flag, sample_period=sample_period,
-            simulation_scope=simulation_scope,
+            simulation_scope=simulation_scope, memory_model=memory_model,
             cache_policy=cache_policy, optimizers=optimizers,
             label=case_or_id,
         )
@@ -374,7 +392,7 @@ def request_for_case(
         return AdvisingRequest(
             source="case", case_id=case.case_id, variant=variant,
             arch_flag=arch_flag, sample_period=sample_period,
-            simulation_scope=simulation_scope,
+            simulation_scope=simulation_scope, memory_model=memory_model,
             cache_policy=cache_policy, optimizers=optimizers,
             label=case.case_id,
         )
@@ -383,7 +401,7 @@ def request_for_case(
         source="binary", cubin=setup.cubin, kernel=setup.kernel,
         config=setup.config, workload=setup.workload,
         arch_flag=arch_flag, sample_period=sample_period,
-        simulation_scope=simulation_scope,
+        simulation_scope=simulation_scope, memory_model=memory_model,
         cache_policy=cache_policy, optimizers=optimizers,
         label=case.case_id,
     )

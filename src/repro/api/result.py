@@ -49,6 +49,7 @@ class AdvisingResult:
     arch_flag: str = ""
     sample_period: int = 0
     simulation_scope: str = "single_wave"
+    memory_model: str = "flat"
     report: Optional[AdviceReport] = None
     error: Optional[str] = None
     duration: float = 0.0
@@ -79,6 +80,7 @@ class AdvisingResult:
                 "arch_flag": self.arch_flag,
                 "sample_period": self.sample_period,
                 "simulation_scope": self.simulation_scope,
+                "memory_model": self.memory_model,
                 "report": self.report.to_dict() if self.report is not None else None,
                 "error": self.error,
                 "duration": self.duration,
@@ -99,6 +101,7 @@ class AdvisingResult:
             arch_flag=payload.get("arch_flag", ""),
             sample_period=payload.get("sample_period", 0),
             simulation_scope=payload.get("simulation_scope", "single_wave"),
+            memory_model=payload.get("memory_model", "flat"),
             report=AdviceReport.from_dict(report) if report is not None else None,
             error=payload.get("error"),
             duration=payload.get("duration", 0.0),

@@ -28,7 +28,12 @@ from typing import Any
 #: 2. Requests and results carry ``simulation_scope`` (the whole-GPU
 #:    simulation engine); launch statistics inside profiles record the scope
 #:    that produced them.
-API_SCHEMA_VERSION = 2
+#: 3. Requests and results carry ``memory_model`` (the L1/L2/DRAM memory
+#:    hierarchy engine); launch statistics record the model that produced
+#:    them plus the hierarchy's coalescing/hit-rate statistics; workload
+#:    specs carry access-pattern fields (``working_set_bytes``,
+#:    ``access_strides``, ``default_access_stride_bytes``).
+API_SCHEMA_VERSION = 3
 
 
 class ApiError(Exception):

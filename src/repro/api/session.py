@@ -44,6 +44,7 @@ from repro.pipeline.stages import (
     ProfileStage,
     retarget,
 )
+from repro.sampling.memory import check_memory_model
 from repro.sampling.profiler import ProfiledKernel, Profiler, check_simulation_scope
 from repro.sampling.sample import KernelProfile
 from repro.structure.program import ProgramStructure, build_program_structure
@@ -60,6 +61,7 @@ class AdvisingSession:
         cache: Union[None, str, ProfileCache] = None,
         jobs: int = 1,
         simulation_scope: str = "single_wave",
+        memory_model: str = "flat",
     ):
         if sample_period <= 0:
             raise ApiValidationError(f"sample_period must be positive, got {sample_period}")
@@ -69,11 +71,16 @@ class AdvisingSession:
             check_simulation_scope(simulation_scope)
         except ValueError as exc:
             raise ApiValidationError(str(exc)) from exc
+        try:
+            check_memory_model(memory_model)
+        except ValueError as exc:
+            raise ApiValidationError(str(exc)) from exc
         if isinstance(architecture, str):
             architecture = get_architecture(architecture)
         self.architecture = architecture or VoltaV100
         self.sample_period = sample_period
         self.simulation_scope = simulation_scope
+        self.memory_model = memory_model
         self.cache = coerce_cache(cache)
         self.jobs = jobs
 
@@ -87,11 +94,11 @@ class AdvisingSession:
         # backward-compatible attribute access.
         self.profiler = Profiler(
             self.architecture, sample_period=sample_period,
-            simulation_scope=simulation_scope,
+            simulation_scope=simulation_scope, memory_model=memory_model,
         )
         self.profile_stage = ProfileStage(profiler=self.profiler, cache=self.cache)
         self.analyze_stage = AnalyzeStage(self.architecture, self.optimizers)
-        self._profile_stages: Dict[Tuple[int, bool, str], ProfileStage] = {}
+        self._profile_stages: Dict[Tuple[int, bool, str, str], ProfileStage] = {}
         self._analyze_stages: Dict[Tuple[str, Optional[Tuple[str, ...]]], AnalyzeStage] = {}
 
     # ------------------------------------------------------------------
@@ -134,10 +141,16 @@ class AdvisingSession:
     def _profile_stage_for(self, request: AdvisingRequest) -> ProfileStage:
         period = request.sample_period or self.sample_period
         scope = request.simulation_scope or self.simulation_scope
+        memory_model = request.memory_model or self.memory_model
         cached = request.cache_policy != "bypass"
-        if period == self.sample_period and scope == self.simulation_scope and cached:
+        if (
+            period == self.sample_period
+            and scope == self.simulation_scope
+            and memory_model == self.memory_model
+            and cached
+        ):
             return self.profile_stage
-        key = (period, cached, scope)
+        key = (period, cached, scope, memory_model)
         stage = self._profile_stages.get(key)
         if stage is None:
             stage = ProfileStage(
@@ -145,6 +158,7 @@ class AdvisingSession:
                 sample_period=period,
                 cache=self.cache if cached else None,
                 simulation_scope=scope,
+                memory_model=memory_model,
             )
             self._profile_stages[key] = stage
         return stage
@@ -203,11 +217,14 @@ class AdvisingSession:
         arch_flag = request.arch_flag or self.arch_flag
         period = request.sample_period or self.sample_period
         if request.source == "profile":
-            # Nothing is simulated: report the scope the loaded profile was
-            # actually collected with, not the session default.
+            # Nothing is simulated: report the scope and memory model the
+            # loaded profile was actually collected with, not the session
+            # defaults.
             scope = request.profile.statistics.simulation_scope
+            memory_model = request.profile.statistics.memory_model
         else:
             scope = request.simulation_scope or self.simulation_scope
+            memory_model = request.memory_model or self.memory_model
         started = time.perf_counter()
         try:
             if request.source == "profile":
@@ -226,14 +243,14 @@ class AdvisingSession:
             return AdvisingResult(
                 request=request, index=index, label=label,
                 arch_flag=arch_flag, sample_period=period,
-                simulation_scope=scope,
+                simulation_scope=scope, memory_model=memory_model,
                 error=traceback.format_exc(),
                 duration=time.perf_counter() - started,
             )
         return AdvisingResult(
             request=request, index=index, label=label,
             arch_flag=arch_flag, sample_period=period,
-            simulation_scope=scope,
+            simulation_scope=scope, memory_model=memory_model,
             report=report, duration=time.perf_counter() - started,
         )
 
@@ -357,6 +374,7 @@ class AdvisingSession:
             "arch_flag": self.arch_flag,
             "sample_period": self.sample_period,
             "simulation_scope": self.simulation_scope,
+            "memory_model": self.memory_model,
             "cache_dir": str(self.cache.directory) if self.cache is not None else None,
             "optimizer_names": (
                 list(self._optimizer_names) if self._optimizer_names else None
@@ -386,6 +404,7 @@ def _pool_advise(config: dict, payload: dict, index: int) -> dict:
         cache=config["cache_dir"],
         jobs=1,
         simulation_scope=config.get("simulation_scope", "single_wave"),
+        memory_model=config.get("memory_model", "flat"),
     )
     request = AdvisingRequest.from_dict(payload)
     return session.advise(request, index=index).to_dict()

@@ -26,6 +26,44 @@ class ArchitectureError(KeyError):
 
 
 @dataclass(frozen=True)
+class MemoryHierarchyParameters:
+    """Per-SM memory-hierarchy configuration of one GPU generation.
+
+    Consumed by :class:`repro.sampling.memory.MemoryHierarchy`, the detailed
+    L1/L2/DRAM model behind ``memory_model="hierarchy"``.  All sizes are in
+    bytes, all latencies in core cycles; latencies are *totals* from issue to
+    completion (the microbenchmarked load-to-use figures of Jia et al.), not
+    per-level increments.  The L2 figure is the per-SM *slice* of the shared
+    L2 (total L2 divided by the SM count, rounded to a power-of-two-ish
+    capacity), since the simulator models one SM at a time.
+    """
+
+    #: Memory transaction granularity: NVIDIA GPUs move 32-byte sectors.
+    sector_bytes: int = 32
+    #: L1 data cache capacity per SM.
+    l1_bytes: int = 32 * 1024
+    #: L1 associativity (ways per set).
+    l1_ways: int = 4
+    #: Load-to-use latency of an L1 hit.
+    l1_hit_latency: int = 28
+    #: Sector transactions the L1 pipeline accepts per cycle.
+    l1_sectors_per_cycle: int = 4
+    #: Miss-status holding registers: outstanding L1 sector misses before
+    #: the memory pipeline throttles.
+    l1_mshr_entries: int = 64
+    #: This SM's slice of the shared L2 cache.
+    l2_slice_bytes: int = 96 * 1024
+    #: L2 associativity (ways per set).
+    l2_ways: int = 16
+    #: Load-to-use latency of an L2 hit.
+    l2_hit_latency: int = 193
+    #: Load-to-use latency of a DRAM access (before bandwidth queueing).
+    dram_latency: int = 430
+    #: DRAM bandwidth available to one SM, in bytes per core cycle.
+    dram_bytes_per_cycle: int = 8
+
+
+@dataclass(frozen=True)
 class GpuArchitecture:
     """Hardware configuration for one GPU generation."""
 
@@ -67,6 +105,11 @@ class GpuArchitecture:
     clock_mhz: int = 1380
     #: Per-opcode latency overrides for this architecture.
     latency_overrides: Dict[str, int] = field(default_factory=dict)
+    #: Detailed memory-hierarchy parameters (coalescing sectors, L1/L2
+    #: caches, DRAM bandwidth) used when ``memory_model="hierarchy"``.
+    memory: MemoryHierarchyParameters = field(
+        default_factory=MemoryHierarchyParameters
+    )
 
     # ------------------------------------------------------------------
     # Latency queries (used by the pruning rules and the simulator)
@@ -131,6 +174,21 @@ VoltaV100 = GpuArchitecture(
     instruction_cache_bytes=12 * 1024,
     max_outstanding_memory_requests=64,
     clock_mhz=1380,
+    # 128 KiB unified L1/shared per SM with 96 KiB carved out for shared
+    # memory leaves 32 KiB of L1; 6 MiB of L2 across 80 SMs is a ~77 KiB
+    # slice; 900 GB/s of HBM2 at 1380 MHz is ~8 B/cycle per SM.
+    memory=MemoryHierarchyParameters(
+        l1_bytes=32 * 1024,
+        l1_ways=4,
+        l1_hit_latency=28,
+        l1_sectors_per_cycle=4,
+        l1_mshr_entries=64,
+        l2_slice_bytes=96 * 1024,
+        l2_ways=16,
+        l2_hit_latency=193,
+        dram_latency=430,
+        dram_bytes_per_cycle=8,
+    ),
 )
 
 #: A Pascal-class model (sm_60) kept for the pre-Volta 64-bit encoding note
@@ -153,6 +211,19 @@ PascalLike = GpuArchitecture(
     max_outstanding_memory_requests=48,
     clock_mhz=1328,
     latency_overrides={"LDG": 450, "LDS": 30},
+    # Pascal: 24 KiB L1 per SM, 4 MiB L2 over 56 SMs, 732 GB/s HBM2.
+    memory=MemoryHierarchyParameters(
+        l1_bytes=24 * 1024,
+        l1_ways=4,
+        l1_hit_latency=82,
+        l1_sectors_per_cycle=2,
+        l1_mshr_entries=48,
+        l2_slice_bytes=72 * 1024,
+        l2_ways=16,
+        l2_hit_latency=234,
+        dram_latency=450,
+        dram_bytes_per_cycle=9,
+    ),
 )
 
 #: A Kepler-class model (sm_35), the oldest generation with PC sampling.
@@ -174,6 +245,20 @@ KeplerLike = GpuArchitecture(
     max_outstanding_memory_requests=32,
     clock_mhz=875,
     latency_overrides={"LDG": 600, "FADD": 9, "FMUL": 9, "FFMA": 9, "IADD": 9},
+    # Kepler: 16 KiB L1 (48 KiB shared config), 1.5 MiB L2 over 13 SMs,
+    # 240 GB/s GDDR5 per GPU half of a K80.
+    memory=MemoryHierarchyParameters(
+        l1_bytes=16 * 1024,
+        l1_ways=4,
+        l1_hit_latency=35,
+        l1_sectors_per_cycle=2,
+        l1_mshr_entries=32,
+        l2_slice_bytes=120 * 1024,
+        l2_ways=16,
+        l2_hit_latency=222,
+        dram_latency=600,
+        dram_bytes_per_cycle=20,
+    ),
 )
 
 
@@ -198,6 +283,20 @@ TuringLike = GpuArchitecture(
     max_outstanding_memory_requests=48,
     clock_mhz=1590,
     latency_overrides={"LDG": 420, "LDS": 22},
+    # Turing T4: 96 KiB unified L1/shared (64 KiB shared leaves 32 KiB L1),
+    # 4 MiB L2 over 40 SMs, 320 GB/s GDDR6 at 1590 MHz is ~5 B/cycle/SM.
+    memory=MemoryHierarchyParameters(
+        l1_bytes=32 * 1024,
+        l1_ways=4,
+        l1_hit_latency=32,
+        l1_sectors_per_cycle=4,
+        l1_mshr_entries=48,
+        l2_slice_bytes=100 * 1024,
+        l2_ways=16,
+        l2_hit_latency=188,
+        dram_latency=420,
+        dram_bytes_per_cycle=5,
+    ),
 )
 
 #: An Ampere-class model (sm_80).  The A100 raises the SM count, shared
@@ -220,6 +319,21 @@ AmpereLike = GpuArchitecture(
     max_outstanding_memory_requests=96,
     clock_mhz=1410,
     latency_overrides={"LDG": 360, "LDS": 22, "BAR": 20},
+    # Ampere A100: 192 KiB unified L1/shared (164 KiB shared leaves fast
+    # 28 KiB, but the common carve-out keeps 64 KiB of L1); 40 MiB L2 over
+    # 108 SMs is a ~380 KiB slice; 1555 GB/s HBM2e is ~10 B/cycle per SM.
+    memory=MemoryHierarchyParameters(
+        l1_bytes=64 * 1024,
+        l1_ways=4,
+        l1_hit_latency=33,
+        l1_sectors_per_cycle=4,
+        l1_mshr_entries=96,
+        l2_slice_bytes=384 * 1024,
+        l2_ways=16,
+        l2_hit_latency=200,
+        dram_latency=290,
+        dram_bytes_per_cycle=10,
+    ),
 )
 
 

@@ -54,6 +54,7 @@ def sampling_model_demo(
     arch_flag: str = "sm_70",
     cache_dir: Optional[str] = None,
     simulation_scope: str = "single_wave",
+    memory_model: str = "flat",
 ) -> Dict[str, object]:
     """Run the Figure 1 demonstration and return its sample statistics.
 
@@ -66,7 +67,7 @@ def sampling_model_demo(
     builder = _toy_kernel()
     session = AdvisingSession(
         architecture=arch_flag, sample_period=sample_period, cache=cache_dir,
-        simulation_scope=simulation_scope,
+        simulation_scope=simulation_scope, memory_model=memory_model,
     )
     profiled = session.profile(
         AdvisingRequest(
@@ -93,4 +94,5 @@ def sampling_model_demo(
         "kernel_cycles": profile.statistics.kernel_cycles,
         "warps_per_scheduler": profile.statistics.warps_per_scheduler,
         "simulation_scope": profile.statistics.simulation_scope,
+        "memory_model": profile.statistics.memory_model,
     }

@@ -69,13 +69,14 @@ def evaluate_figure7(
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
     simulation_scope: str = "single_wave",
+    memory_model: str = "flat",
 ) -> List[CoverageRow]:
     """Compute coverage rows for every (unique) benchmark.
 
     Runs through the batch pipeline: ``jobs`` fans benchmarks out across
     processes, ``cache_dir`` replays already-simulated baseline profiles and
-    ``simulation_scope`` selects the simulation engine the profiles are
-    collected with.
+    ``simulation_scope`` selects the simulation engine and ``memory_model``
+    the memory system the profiles are collected with.
     """
     unique: List[BenchmarkCase] = []
     seen = set()
@@ -92,6 +93,7 @@ def evaluate_figure7(
             cache_dir=str(cache_dir) if cache_dir is not None else None,
             jobs=jobs,
             simulation_scope=simulation_scope,
+            memory_model=memory_model,
         )
     )
     results = advisor.run_cases(coverage_case_worker, unique, progress=progress)

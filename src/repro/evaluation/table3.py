@@ -130,6 +130,7 @@ def evaluate_table3(
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
     simulation_scope: str = "single_wave",
+    memory_model: str = "flat",
 ) -> Table3Result:
     """Evaluate every Table 3 row (or the supplied subset).
 
@@ -138,7 +139,9 @@ def evaluate_table3(
     previously simulated profiles from disk, ``arch_flag`` retargets the
     sweep onto any registered architecture, and ``simulation_scope``
     selects the simulation engine (``"whole_gpu"`` measures whole-kernel
-    cycles across every SM instead of extrapolating one wave).  Per-case
+    cycles across every SM instead of extrapolating one wave), and
+    ``memory_model`` selects the memory system (``"hierarchy"`` services
+    accesses through the coalescing L1/L2/DRAM model).  Per-case
     failures land in :attr:`Table3Result.failures` instead of aborting the
     sweep.
     """
@@ -150,6 +153,7 @@ def evaluate_table3(
             cache_dir=str(cache_dir) if cache_dir is not None else None,
             jobs=jobs,
             simulation_scope=simulation_scope,
+            memory_model=memory_model,
         )
     )
     result = Table3Result()

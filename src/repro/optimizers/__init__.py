@@ -13,6 +13,8 @@ Code optimizers / latency hiding:
     Loop Unrolling, Code Reordering, Function Inlining.
 Parallel optimizers:
     Block Increase, Thread Increase.
+Memory-hierarchy optimizers (require ``memory_model="hierarchy"``):
+    Memory Coalescing.
 """
 
 from repro.optimizers.base import (
@@ -35,6 +37,7 @@ from repro.optimizers.latency_hiding import (
     FunctionInliningOptimizer,
     LoopUnrollingOptimizer,
 )
+from repro.optimizers.memory import MemoryCoalescingOptimizer
 from repro.optimizers.parallel import BlockIncreaseOptimizer, ThreadIncreaseOptimizer
 from repro.optimizers.registry import OptimizerRegistry, default_optimizers
 
@@ -47,6 +50,7 @@ __all__ = [
     "FunctionSplitOptimizer",
     "Hotspot",
     "LoopUnrollingOptimizer",
+    "MemoryCoalescingOptimizer",
     "MemoryTransactionReductionOptimizer",
     "OptimizationAdvice",
     "Optimizer",

@@ -16,6 +16,7 @@ from repro.optimizers.latency_hiding import (
     FunctionInliningOptimizer,
     LoopUnrollingOptimizer,
 )
+from repro.optimizers.memory import MemoryCoalescingOptimizer
 from repro.optimizers.parallel import BlockIncreaseOptimizer, ThreadIncreaseOptimizer
 from repro.optimizers.stall_elimination import (
     FastMathOptimizer,
@@ -28,7 +29,9 @@ from repro.optimizers.stall_elimination import (
 
 
 def default_optimizers() -> List[Optimizer]:
-    """The eleven optimizers of Table 2, in the paper's order."""
+    """The eleven optimizers of Table 2, in the paper's order, plus the
+    Memory Coalescing optimizer added with the hierarchy memory model (it
+    reports itself not applicable on flat-model profiles)."""
     return [
         RegisterReuseOptimizer(),
         StrengthReductionOptimizer(),
@@ -41,6 +44,7 @@ def default_optimizers() -> List[Optimizer]:
         FunctionInliningOptimizer(),
         BlockIncreaseOptimizer(),
         ThreadIncreaseOptimizer(),
+        MemoryCoalescingOptimizer(),
     ]
 
 

@@ -61,6 +61,7 @@ class BatchConfig:
     cache_dir: Optional[str] = None
     jobs: int = 1
     simulation_scope: str = "single_wave"
+    memory_model: str = "flat"
 
     @property
     def architecture(self) -> GpuArchitecture:
@@ -76,6 +77,7 @@ class BatchConfig:
             cache=self.cache_dir,
             jobs=self.jobs,
             simulation_scope=self.simulation_scope,
+            memory_model=self.memory_model,
         )
 
     def build_gpa(self):

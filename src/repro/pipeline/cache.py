@@ -43,7 +43,10 @@ from repro.sampling.simulator import DEFAULT_MAX_CYCLES
 from repro.sampling.workload import WorkloadSpec
 
 #: Bump when the digest scheme or the profile JSON schema changes shape.
-CACHE_SCHEMA_VERSION = 3
+#: Version 4: profiles record the memory model (flat vs hierarchy) and its
+#: statistics, and the key digests the memory model, so hierarchy-on/off
+#: profiles never collide.
+CACHE_SCHEMA_VERSION = 4
 
 
 # ----------------------------------------------------------------------
@@ -297,6 +300,7 @@ def profile_cache_key(
     sample_period: int,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     simulation_scope: str = "single_wave",
+    memory_model: str = "flat",
 ) -> str:
     """The cache key of one simulated kernel launch.
 
@@ -304,7 +308,9 @@ def profile_cache_key(
     counts, so a truncated simulation must never be replayed as a full one;
     ``simulation_scope`` selects the engine (single-wave extrapolation vs.
     measured whole-GPU), so profiles from one scope must never replay as the
-    other.  (``keep_samples`` is deliberately absent: it only controls
+    other; ``memory_model`` selects the memory system (flat latency vs. the
+    L1/L2/DRAM hierarchy), whose profiles differ in both timing and recorded
+    statistics.  (``keep_samples`` is deliberately absent: it only controls
     whether raw samples are retained on the transient ``SimulationResult``,
     which is not cached — replays always return ``simulation=None``.)
     """
@@ -320,6 +326,7 @@ def profile_cache_key(
         f"period={sample_period}",
         f"max_cycles={max_cycles}",
         f"scope={simulation_scope}",
+        f"memory_model={memory_model}",
     ):
         hasher.update(token.encode("utf-8"))
         hasher.update(b"\x00")

@@ -78,9 +78,11 @@ class ProfileStage:
         cache: Union[None, str, ProfileCache] = None,
         profiler: Optional[Profiler] = None,
         simulation_scope: str = "single_wave",
+        memory_model: str = "flat",
     ):
         self.profiler = profiler or Profiler(
-            architecture, sample_period=sample_period, simulation_scope=simulation_scope
+            architecture, sample_period=sample_period,
+            simulation_scope=simulation_scope, memory_model=memory_model,
         )
         self.cache = coerce_cache(cache)
 
@@ -96,6 +98,10 @@ class ProfileStage:
     def simulation_scope(self) -> str:
         return self.profiler.simulation_scope
 
+    @property
+    def memory_model(self) -> str:
+        return self.profiler.memory_model
+
     # ------------------------------------------------------------------
     def cache_key(self, request: ProfileRequest) -> str:
         """The cache key this stage uses for ``request``."""
@@ -108,6 +114,7 @@ class ProfileStage:
             self.profiler.sample_period,
             max_cycles=self.profiler.max_cycles,
             simulation_scope=self.profiler.simulation_scope,
+            memory_model=self.profiler.memory_model,
         )
 
     def run(self, request: ProfileRequest) -> ProfiledKernel:

@@ -18,6 +18,9 @@ level execution simulator that produces the same interface:
   dynamic traces without needing a functional value interpreter;
 * :mod:`repro.sampling.trace` — per-warp dynamic instruction traces walked
   out of the control flow graph;
+* :mod:`repro.sampling.memory` — the per-SM memory-hierarchy model
+  (warp-access coalescing into 32-byte sectors, L1/L2 caches, MSHR-limited
+  misses, bandwidth-limited DRAM) behind ``memory_model="hierarchy"``;
 * :mod:`repro.sampling.simulator` — the SM simulator (scoreboards, barrier
   wait masks, block-wide synchronization, memory throttling, instruction
   fetch pressure, loose round-robin scheduling, observation-neutral PC
@@ -38,6 +41,12 @@ from repro.sampling.sample import (
     PCSample,
 )
 from repro.sampling.workload import WorkloadSpec
+from repro.sampling.memory import (
+    MEMORY_MODELS,
+    MemoryHierarchy,
+    MemoryStatistics,
+    SectorCache,
+)
 from repro.sampling.trace import TraceOp, generate_warp_trace
 from repro.sampling.simulator import SimulationResult, SMSimulator
 from repro.sampling.gpu import GpuSimulationResult, GpuSimulator, WaveStatistics
@@ -52,6 +61,10 @@ __all__ = [
     "GpuSimulationResult",
     "GpuSimulator",
     "InstructionSamples",
+    "MEMORY_MODELS",
+    "MemoryHierarchy",
+    "MemoryStatistics",
+    "SectorCache",
     "KernelProfile",
     "LaunchConfig",
     "LaunchStatistics",

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Tuple
 
 from repro.arch.machine import GpuArchitecture
+from repro.sampling.memory import MemoryStatistics
 from repro.sampling.sample import PCSample
 from repro.sampling.simulator import DEFAULT_MAX_CYCLES, SMSimulator
 from repro.sampling.stall_reasons import StallReason
@@ -88,6 +89,9 @@ class GpuSimulationResult:
     #: Raw samples (kept only when requested); cycles are rebased onto the
     #: whole-kernel timeline, ``sm_id`` identifies the simulated SM.
     samples: List[PCSample] = field(default_factory=list)
+    #: Memory-hierarchy counters merged across every SM of every wave
+    #: (``None`` under the flat memory model).
+    memory: Optional[MemoryStatistics] = None
 
     @property
     def total_samples(self) -> int:
@@ -122,16 +126,19 @@ class GpuSimulator:
         sample_period: int = 32,
         keep_samples: bool = False,
         max_cycles: int = DEFAULT_MAX_CYCLES,
+        memory_model: str = "flat",
     ):
         self.architecture = architecture
         self.sample_period = sample_period
         self.keep_samples = keep_samples
         self.max_cycles = max_cycles
+        self.memory_model = memory_model
         self._sm_simulator = SMSimulator(
             architecture,
             sample_period=sample_period,
             keep_samples=keep_samples,
             max_cycles=max_cycles,
+            memory_model=memory_model,
         )
 
     # ------------------------------------------------------------------
@@ -168,6 +175,7 @@ class GpuSimulator:
         kernel_cycles = 0
         first_wave_cycles = 0
         simulated_sm_cycles = 0
+        memory = MemoryStatistics() if self.memory_model == "hierarchy" else None
 
         for wave_index in range(math.ceil(grid_blocks / capacity)):
             wave_start = wave_index * capacity
@@ -208,6 +216,8 @@ class GpuSimulator:
                 latency_samples += result.latency_samples
                 issued_instructions += result.issued_instructions
                 simulated_sm_cycles += result.wave_cycles
+                if memory is not None and result.memory is not None:
+                    memory.merge(result.memory)
                 if self.keep_samples:
                     samples.extend(
                         replace(sample, cycle=sample.cycle + kernel_cycles)
@@ -244,4 +254,5 @@ class GpuSimulator:
             issued_instructions=issued_instructions,
             simulated_sm_cycles=simulated_sm_cycles,
             samples=samples,
+            memory=memory,
         )

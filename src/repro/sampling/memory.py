@@ -1,0 +1,309 @@
+"""The per-SM memory-hierarchy model behind ``memory_model="hierarchy"``.
+
+The flat memory model services every global access with its per-opcode
+latency and a single outstanding-transaction budget — MEMORY_DEPENDENCY and
+MEMORY_THROTTLE samples carry no locality or coalescing signal.  This module
+models the path a warp's memory request actually takes, the way detailed GPU
+pipeline simulators structure their memory stages:
+
+1. **Coalescing** — the 32 per-thread addresses of a warp access are merged
+   into unique 32-byte *sector* transactions.  A unit-stride float access
+   touches 4 sectors (one 128-byte cache line); a 128-byte stride touches 32.
+2. **L1** — a per-SM set-associative sector cache with LRU replacement.
+   Hits complete at the L1 hit latency; misses allocate a miss-status
+   holding register (MSHR) and fall through to L2.  When every MSHR is in
+   flight the memory pipeline stalls the issuing warp with MEMORY_THROTTLE —
+   backpressure from real resource exhaustion, not a global counter.
+3. **L2 slice** — this SM's slice of the shared L2 (capacity = total L2 /
+   SM count), also a set-associative sector cache.
+4. **DRAM** — misses pay the DRAM latency *and* serialize on a per-cycle
+   byte bandwidth, so saturating workloads see queueing delay grow with the
+   transaction rate.
+
+The model is deterministic (no randomness; state depends only on the access
+sequence) and observation-neutral: :meth:`MemoryHierarchy.backpressure` has
+a read-only probe mode, and :meth:`MemoryHierarchy.access` is only invoked
+when an instruction actually issues — so PC sampling can never perturb the
+simulated timing, the same property the rest of the simulator guarantees.
+
+:class:`MemoryStatistics` is the aggregate the profiler surfaces through
+:class:`~repro.sampling.sample.LaunchStatistics`: warp-level requests,
+sector transactions, per-level hit rates and DRAM traffic — the signal the
+Memory Coalescing optimizer consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch.machine import MemoryHierarchyParameters
+from repro.isa.registers import MemorySpace
+
+#: The two memory models: "flat" (per-opcode latency + global transaction
+#: budget, the historical behaviour) and "hierarchy" (this module).
+MEMORY_MODELS = ("flat", "hierarchy")
+
+#: Memory spaces serviced by the hierarchy (and throttled by the flat
+#: model's outstanding-transaction budget).
+THROTTLED_SPACES = (
+    MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE,
+)
+
+#: Bytes accessed per thread per memory instruction (a 32-bit word; wider
+#: vector loads are modelled as larger strides by the workload).
+ACCESS_BYTES = 4
+
+
+def check_memory_model(model: str) -> str:
+    """``model`` if valid, else a uniform ``ValueError``."""
+    if model not in MEMORY_MODELS:
+        raise ValueError(
+            f"unknown memory model {model!r}; expected one of {MEMORY_MODELS}"
+        )
+    return model
+
+
+@dataclass
+class MemoryStatistics:
+    """Aggregate memory-hierarchy counters of one simulation.
+
+    All counters are sector-granular except ``requests`` (warp-level memory
+    instructions).  ``l2_*`` and ``dram_*`` only count traffic that missed
+    the level above, so ``l1_hits + l1_misses == sectors`` and
+    ``l2_hits + l2_misses == l1_misses``.
+
+    Scope caveat: like the profile's stall/issue sample counts, the
+    absolute counters cover what was *simulated* — one representative wave
+    on one SM under ``simulation_scope="single_wave"`` (whose
+    ``kernel_cycles`` is an extrapolation), every SM of every wave under
+    ``"whole_gpu"``.  Derived *rates* (:attr:`l1_hit_rate`,
+    :attr:`l2_hit_rate`, :attr:`transactions_per_request`) are comparable
+    across scopes; to estimate whole-kernel byte totals from a single-wave
+    profile, scale by ``statistics.waves``.
+    """
+
+    #: Warp-level memory requests serviced by the hierarchy.
+    requests: int = 0
+    #: 32-byte sector transactions after coalescing.
+    sectors: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    #: Bytes moved over the DRAM channel (sector size is per-architecture,
+    #: so the byte count is recorded rather than derived).
+    dram_bytes: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def dram_sectors(self) -> int:
+        """Sectors serviced by DRAM: exactly the sectors that missed L2."""
+        return self.l2_misses
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        total = self.l2_hits + self.l2_misses
+        return self.l2_hits / total if total else 0.0
+
+    @property
+    def transactions_per_request(self) -> float:
+        """Average sectors per warp-level request (the coalescing figure)."""
+        return self.sectors / self.requests if self.requests else 0.0
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MemoryStatistics") -> None:
+        """Accumulate another simulation's counters (multi-SM merges)."""
+        self.requests += other.requests
+        self.sectors += other.sectors
+        self.l1_hits += other.l1_hits
+        self.l1_misses += other.l1_misses
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
+        self.dram_bytes += other.dram_bytes
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "sectors": self.sectors,
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "dram_bytes": self.dram_bytes,
+            # Derived counters/rates are included for human consumers
+            # (reports, CI smoke checks) and ignored by from_dict.
+            "dram_sectors": self.dram_sectors,
+            "l1_hit_rate": self.l1_hit_rate,
+            "l2_hit_rate": self.l2_hit_rate,
+            "transactions_per_request": self.transactions_per_request,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MemoryStatistics":
+        return cls(
+            requests=payload.get("requests", 0),
+            sectors=payload.get("sectors", 0),
+            l1_hits=payload.get("l1_hits", 0),
+            l1_misses=payload.get("l1_misses", 0),
+            l2_hits=payload.get("l2_hits", 0),
+            l2_misses=payload.get("l2_misses", 0),
+            dram_bytes=payload.get("dram_bytes", 0),
+        )
+
+
+class SectorCache:
+    """A set-associative cache of 32-byte sectors with LRU replacement.
+
+    Tags are sector addresses; there is no data (the simulator only needs
+    hit/miss timing).  Misses allocate immediately (allocate-on-miss), which
+    models the MSHR merging a second access to an in-flight sector.
+    """
+
+    def __init__(self, capacity_bytes: int, ways: int, sector_bytes: int):
+        if capacity_bytes < ways * sector_bytes:
+            raise ValueError("cache capacity must hold at least one full set")
+        self.sector_bytes = sector_bytes
+        self.ways = ways
+        self.num_sets = max(1, capacity_bytes // (ways * sector_bytes))
+        #: set index -> sector tags in LRU order (last = most recent).
+        self._sets: Dict[int, List[int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, sector_address: int) -> bool:
+        """Look up (and allocate) one sector; returns whether it hit."""
+        index = (sector_address // self.sector_bytes) % self.num_sets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = []
+            self._sets[index] = entries
+        if sector_address in entries:
+            entries.remove(sector_address)
+            entries.append(sector_address)
+            self.hits += 1
+            return True
+        entries.append(sector_address)
+        if len(entries) > self.ways:
+            entries.pop(0)
+        self.misses += 1
+        return False
+
+
+class MemoryHierarchy:
+    """One SM's view of the memory system: L1, an L2 slice, and DRAM."""
+
+    def __init__(self, parameters: MemoryHierarchyParameters, warp_size: int = 32):
+        self.parameters = parameters
+        self.warp_size = warp_size
+        self.l1 = SectorCache(
+            parameters.l1_bytes, parameters.l1_ways, parameters.sector_bytes
+        )
+        self.l2 = SectorCache(
+            parameters.l2_slice_bytes, parameters.l2_ways, parameters.sector_bytes
+        )
+        self.statistics = MemoryStatistics()
+        #: Completion cycles of in-flight L1 sector misses (the MSHRs).
+        self._mshrs: List[int] = []
+        #: Cycle until which the DRAM channel is busy transferring.
+        self._dram_busy_until = 0
+        #: Rolling cursor for accesses without address information.
+        self._fallback_cursor = 0
+
+    # ------------------------------------------------------------------
+    def backpressure(self, now: int, commit: bool = True) -> Optional[int]:
+        """The cycle to recheck at if the pipeline cannot accept a request.
+
+        Returns ``None`` when a request can issue.  ``commit=True`` retires
+        completed MSHRs as a side effect; ``commit=False`` is the PC
+        sampler's observation mode — a pure count, so sampling never
+        perturbs MSHR state.
+        """
+        limit = self.parameters.l1_mshr_entries
+        if commit:
+            while self._mshrs and self._mshrs[0] <= now:
+                heapq.heappop(self._mshrs)
+            if len(self._mshrs) >= limit:
+                return self._mshrs[0]
+            return None
+        in_flight = sum(1 for completion in self._mshrs if completion > now)
+        if in_flight >= limit:
+            return now + 1
+        return None
+
+    # ------------------------------------------------------------------
+    def sector_addresses(self, op) -> List[int]:
+        """The unique 32-byte sectors touched by one warp-level access.
+
+        Coalescing proper: thread ``t`` accesses ``address + t * stride``
+        for :data:`ACCESS_BYTES` bytes; the footprint collapses into unique
+        sectors.  Trace ops without address information (hand-built traces)
+        fall back to ``op.transactions`` consecutive sectors at a rolling
+        cursor, so the transaction *count* still matches the flat model.
+        """
+        sector = self.parameters.sector_bytes
+        stride = getattr(op, "stride_bytes", 0)
+        if stride <= 0:
+            count = max(1, getattr(op, "transactions", 1) or 1)
+            base = self._fallback_cursor
+            self._fallback_cursor += count * sector
+            return [base + i * sector for i in range(count)]
+        base = getattr(op, "address", 0)
+        sectors = []
+        seen = set()
+        for thread in range(self.warp_size):
+            first = (base + thread * stride) // sector
+            last = (base + thread * stride + ACCESS_BYTES - 1) // sector
+            for index in range(first, last + 1):
+                if index not in seen:
+                    seen.add(index)
+                    sectors.append(index * sector)
+        return sectors
+
+    # ------------------------------------------------------------------
+    def access(self, op, now: int) -> int:
+        """Service one warp-level access; returns its completion cycle.
+
+        Sectors issue into the L1 pipeline at ``l1_sectors_per_cycle``; each
+        is serviced by the first level that holds it; the request completes
+        when its slowest sector does.
+        """
+        parameters = self.parameters
+        sectors = self.sector_addresses(op)
+        stats = self.statistics
+        stats.requests += 1
+        stats.sectors += len(sectors)
+
+        completion = now + 1
+        for position, sector_address in enumerate(sectors):
+            issued = now + position // parameters.l1_sectors_per_cycle
+            if self.l1.access(sector_address):
+                stats.l1_hits += 1
+                done = issued + parameters.l1_hit_latency
+            else:
+                stats.l1_misses += 1
+                if self.l2.access(sector_address):
+                    stats.l2_hits += 1
+                    done = issued + parameters.l2_hit_latency
+                else:
+                    stats.l2_misses += 1
+                    stats.dram_bytes += parameters.sector_bytes
+                    # DRAM serializes transfers on the per-SM bandwidth
+                    # share; queueing delay grows when requests outpace it.
+                    transfer = max(
+                        1, parameters.sector_bytes // parameters.dram_bytes_per_cycle
+                    )
+                    start = max(issued, self._dram_busy_until)
+                    self._dram_busy_until = start + transfer
+                    done = start + transfer + parameters.dram_latency
+                heapq.heappush(self._mshrs, done)
+            if done > completion:
+                completion = done
+        return completion

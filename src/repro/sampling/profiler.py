@@ -31,6 +31,7 @@ from repro.arch.machine import GpuArchitecture, VoltaV100, get_architecture
 from repro.arch.occupancy import OccupancyCalculator, OccupancyResult
 from repro.cubin.binary import Cubin
 from repro.sampling.gpu import GpuSimulationResult, GpuSimulator
+from repro.sampling.memory import MEMORY_MODELS, check_memory_model
 from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
 from repro.sampling.simulator import DEFAULT_MAX_CYCLES, SimulationResult, SMSimulator
 from repro.sampling.trace import generate_warp_trace
@@ -96,12 +97,14 @@ class Profiler:
         keep_samples: bool = False,
         max_cycles: int = DEFAULT_MAX_CYCLES,
         simulation_scope: str = "single_wave",
+        memory_model: str = "flat",
     ):
         self.architecture = architecture or VoltaV100
         self.sample_period = sample_period
         self.keep_samples = keep_samples
         self.max_cycles = max_cycles
         self.simulation_scope = check_simulation_scope(simulation_scope)
+        self.memory_model = check_memory_model(memory_model)
 
     # ------------------------------------------------------------------
     def profile(
@@ -140,6 +143,7 @@ class Profiler:
                 sample_period=self.sample_period,
                 keep_samples=self.keep_samples,
                 max_cycles=self.max_cycles,
+                memory_model=self.memory_model,
             ).simulate(
                 kernel_name,
                 trace_for_warp,
@@ -169,6 +173,7 @@ class Profiler:
                 sample_period=self.sample_period,
                 keep_samples=self.keep_samples,
                 max_cycles=self.max_cycles,
+                memory_model=self.memory_model,
             )
             simulation = simulator.simulate(kernel_name, traces, block_of_warp)
             wave_cycles = simulation.wave_cycles
@@ -188,6 +193,8 @@ class Profiler:
             kernel_cycles=kernel_cycles,
             sample_period=self.sample_period,
             simulation_scope=self.simulation_scope,
+            memory_model=self.memory_model,
+            memory=simulation.memory,
         )
 
         # Record in (function, offset) order — the canonical order of the

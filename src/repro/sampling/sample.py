@@ -13,6 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.sampling.memory import MemoryStatistics
 from repro.sampling.stall_reasons import StallReason
 
 
@@ -147,6 +148,11 @@ class LaunchStatistics:
     #: Which simulation engine produced these statistics ("single_wave" or
     #: "whole_gpu"); see :data:`repro.sampling.profiler.SIMULATION_SCOPES`.
     simulation_scope: str = "single_wave"
+    #: Which memory model serviced global accesses ("flat" or "hierarchy");
+    #: see :data:`repro.sampling.memory.MEMORY_MODELS`.
+    memory_model: str = "flat"
+    #: Coalescing and cache statistics (``None`` under the flat model).
+    memory: Optional[MemoryStatistics] = None
 
     def to_dict(self) -> dict:
         return {
@@ -165,6 +171,8 @@ class LaunchStatistics:
             "kernel_cycles": self.kernel_cycles,
             "sample_period": self.sample_period,
             "simulation_scope": self.simulation_scope,
+            "memory_model": self.memory_model,
+            "memory": self.memory.to_dict() if self.memory is not None else None,
         }
 
     @classmethod
@@ -187,6 +195,12 @@ class LaunchStatistics:
             kernel_cycles=payload["kernel_cycles"],
             sample_period=payload["sample_period"],
             simulation_scope=payload.get("simulation_scope", "single_wave"),
+            memory_model=payload.get("memory_model", "flat"),
+            memory=(
+                MemoryStatistics.from_dict(payload["memory"])
+                if payload.get("memory") is not None
+                else None
+            ),
         )
 
 

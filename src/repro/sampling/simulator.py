@@ -13,7 +13,11 @@ multiprocessor of the configured architecture:
   instruction blamer later reasons about;
 * ``BAR.SYNC`` blocks a warp until every live warp of its thread block has
   arrived; waiting warps report ``SYNCHRONIZATION`` stalls;
-* a shared outstanding-transaction budget models memory throttling;
+* memory is serviced by one of two models: the *flat* model (per-opcode
+  latency plus a shared outstanding-transaction budget, the default) or the
+  *hierarchy* model (:mod:`repro.sampling.memory`: per-warp coalescing into
+  32-byte sectors, L1/L2 caches, MSHR-limited misses and bandwidth-limited
+  DRAM, with MEMORY_THROTTLE driven by real MSHR backpressure);
 * instruction-fetch stalls charged by the trace generator block the warp
   with ``INSTRUCTION_FETCH``;
 * every ``sample_period`` cycles one scheduler (round-robin across
@@ -44,6 +48,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.machine import GpuArchitecture
 from repro.isa.registers import MemorySpace
+from repro.sampling.memory import (
+    THROTTLED_SPACES,
+    MemoryHierarchy,
+    MemoryStatistics,
+    check_memory_model,
+)
 from repro.sampling.sample import PCSample
 from repro.sampling.stall_reasons import StallReason
 from repro.sampling.trace import TraceOp
@@ -54,10 +64,9 @@ DEFAULT_MAX_CYCLES = 4_000_000
 
 _FAR_FUTURE = 1 << 60
 
-#: Memory spaces whose accesses consume outstanding-transaction slots.
-_THROTTLED_SPACES = (
-    MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE,
-)
+#: Memory spaces whose accesses consume outstanding-transaction slots
+#: (shared with the hierarchy model, which services the same spaces).
+_THROTTLED_SPACES = THROTTLED_SPACES
 
 
 @dataclass
@@ -76,6 +85,8 @@ class SimulationResult:
     issued_instructions: int
     #: Raw samples, kept only when requested.
     samples: List[PCSample] = field(default_factory=list)
+    #: Memory-hierarchy counters (``None`` under the flat memory model).
+    memory: Optional[MemoryStatistics] = None
 
     @property
     def total_samples(self) -> int:
@@ -138,6 +149,7 @@ class SMSimulator:
         sample_period: int = 32,
         keep_samples: bool = False,
         max_cycles: int = DEFAULT_MAX_CYCLES,
+        memory_model: str = "flat",
     ):
         if sample_period < 1:
             raise ValueError("sample_period must be >= 1")
@@ -145,6 +157,7 @@ class SMSimulator:
         self.sample_period = sample_period
         self.keep_samples = keep_samples
         self.max_cycles = max_cycles
+        self.memory_model = check_memory_model(memory_model)
 
     # ------------------------------------------------------------------
     def simulate(
@@ -176,9 +189,13 @@ class SMSimulator:
         for index, warp in enumerate(warps):
             warps_of_block[warp.block_id].append(index)
 
-        # Outstanding memory transactions (completion-cycle min-heap).
+        # Outstanding memory transactions (completion-cycle min-heap) for
+        # the flat model; the hierarchy model owns its own MSHR state.
         pending_memory: List[int] = []
         memory_limit = arch.max_outstanding_memory_requests
+        hierarchy: Optional[MemoryHierarchy] = None
+        if self.memory_model == "hierarchy":
+            hierarchy = MemoryHierarchy(arch.memory, warp_size=arch.warp_size)
 
         stall_counts: Dict[Tuple[str, int], Dict[StallReason, int]] = defaultdict(
             lambda: defaultdict(int)
@@ -268,7 +285,13 @@ class SMSimulator:
 
             # Memory throttle.
             if instruction.is_memory and instruction.memory_space in _THROTTLED_SPACES:
-                if commit:
+                if hierarchy is not None:
+                    # Real backpressure: every L1 MSHR holds an in-flight
+                    # sector miss (DRAM queueing keeps them held longer).
+                    recheck = hierarchy.backpressure(now, commit=commit)
+                    if recheck is not None:
+                        return False, StallReason.MEMORY_THROTTLE, recheck
+                elif commit:
                     while pending_memory and pending_memory[0] <= now:
                         heapq.heappop(pending_memory)
                     if len(pending_memory) >= memory_limit:
@@ -289,11 +312,31 @@ class SMSimulator:
             instruction = op.instruction
             control = instruction.control
 
+            is_hierarchy_memory = (
+                hierarchy is not None
+                and instruction.is_memory
+                and instruction.memory_space in _THROTTLED_SPACES
+            )
+            if is_hierarchy_memory:
+                # The hierarchy *measures* this access's completion from
+                # coalescing + cache hits + DRAM queueing, replacing the
+                # workload-assigned flat latency.
+                memory_completion = hierarchy.access(op, now)
+
             if control.write_barrier is not None:
-                warp.barrier_clear[control.write_barrier] = now + max(1, op.latency)
+                if is_hierarchy_memory:
+                    clear = max(now + 1, memory_completion)
+                else:
+                    clear = now + max(1, op.latency)
+                warp.barrier_clear[control.write_barrier] = clear
                 warp.barrier_source[control.write_barrier] = op
             if control.read_barrier is not None:
-                hold = max(1, min(op.latency, 30)) if op.latency else 20
+                if is_hierarchy_memory:
+                    # Stores release their read barrier once their sectors
+                    # have entered the pipeline (bounded like the flat hold).
+                    hold = max(1, min(memory_completion - now, 30))
+                else:
+                    hold = max(1, min(op.latency, 30)) if op.latency else 20
                 warp.barrier_clear[control.read_barrier] = now + hold
                 warp.barrier_source[control.read_barrier] = op
 
@@ -303,7 +346,11 @@ class SMSimulator:
                 for reg in instruction.defined_registers:
                     warp.reg_ready[reg.index] = now + latency
 
-            if instruction.is_memory and instruction.memory_space in _THROTTLED_SPACES:
+            if (
+                hierarchy is None
+                and instruction.is_memory
+                and instruction.memory_space in _THROTTLED_SPACES
+            ):
                 completion = now + max(1, op.latency)
                 for _ in range(max(1, op.transactions)):
                     heapq.heappush(pending_memory, completion)
@@ -498,4 +545,5 @@ class SMSimulator:
             latency_samples=latency_samples,
             issued_instructions=issued_instructions,
             samples=samples,
+            memory=hierarchy.statistics if hierarchy is not None else None,
         )

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.arch.machine import GpuArchitecture
 from repro.isa.instruction import Instruction
 from repro.isa.registers import MemorySpace
+from repro.sampling.memory import THROTTLED_SPACES
 from repro.sampling.workload import WorkloadSpec
 from repro.structure.program import FunctionStructure, ProgramStructure
 
@@ -36,6 +37,12 @@ class TraceOp:
     transactions: int = 0
     #: Instruction-fetch stall charged before this op issues (cycles).
     fetch_stall: int = 0
+    #: Base byte address of the warp's access (hierarchy memory model);
+    #: thread ``t`` accesses ``address + t * stride_bytes``.
+    address: int = 0
+    #: Per-thread stride in bytes; 0 marks an op without address
+    #: information (non-memory, or a hand-built trace).
+    stride_bytes: int = 0
 
     @property
     def offset(self) -> int:
@@ -87,8 +94,14 @@ def generate_warp_trace(
     rng = workload.rng_for_warp(warp_id)
     ops: List[TraceOp] = []
     executed_functions: Set[str] = set()
+    sector_bytes = architecture.memory.sector_bytes
+    warp_size = architecture.warp_size
+    #: Per-warp count of hierarchy-visible memory accesses, used to walk
+    #: the warp through its working-set partition deterministically.
+    memory_accesses = 0
 
     def walk(function_name: str, depth: int) -> None:
+        nonlocal memory_accesses
         if depth > 8:
             raise TraceError(f"call depth limit exceeded while tracing {kernel_name}")
         function_structure = structure.function(function_name)
@@ -105,9 +118,23 @@ def generate_warp_trace(
                     return
                 transactions = 0
                 latency = 0
+                address = 0
+                stride = 0
                 if instruction.is_memory or instruction.info.is_variable_latency:
                     if instruction.is_memory:
                         transactions = workload.transactions(instruction.line)
+                        if instruction.memory_space in THROTTLED_SPACES:
+                            # Address generation is a pure function of the
+                            # access count — it consumes no randomness, so
+                            # the flat model's traces stay bit-identical.
+                            stride = workload.access_stride(
+                                instruction.line, sector_bytes, warp_size
+                            )
+                            address = workload.address_for(
+                                warp_id, memory_accesses, stride,
+                                num_warps, warp_size,
+                            )
+                            memory_accesses += 1
                     latency = _dynamic_latency(
                         instruction, architecture, workload, rng, max(1, transactions)
                     )
@@ -117,6 +144,8 @@ def generate_warp_trace(
                         instruction=instruction,
                         latency=latency,
                         transactions=transactions,
+                        address=address,
+                        stride_bytes=stride,
                     )
                 )
                 if instruction.is_call:

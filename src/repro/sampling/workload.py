@@ -45,6 +45,16 @@ class WorkloadSpec:
     uncoalesced_lines: Set[int] = field(default_factory=set)
     #: Memory transactions per access for uncoalesced lines.
     uncoalesced_transactions: int = 8
+    #: Total bytes the kernel's global accesses cycle through.  Working sets
+    #: smaller than the L1/L2 become cache-resident under the hierarchy
+    #: memory model; larger ones stream through DRAM.
+    working_set_bytes: int = 32 * 1024 * 1024
+    #: Per-thread access stride in bytes, keyed by the access's source line
+    #: (4 = unit-stride floats, fully coalesced; 32+ = one sector per
+    #: thread, fully uncoalesced).
+    access_strides: Dict[int, int] = field(default_factory=dict)
+    #: Stride used for global accesses without an explicit entry.
+    default_access_stride_bytes: int = 4
     #: Multiplier applied to global/local memory latencies.
     memory_latency_scale: float = 1.0
     #: Multiplier applied to constant memory latency (values > 1 model
@@ -88,6 +98,44 @@ class WorkloadSpec:
             return self.uncoalesced_transactions
         return 1
 
+    def access_stride(self, line: Optional[int], sector_bytes: int = 32,
+                      warp_size: int = 32) -> int:
+        """Per-thread stride in bytes of the access at ``line``.
+
+        Explicit :attr:`access_strides` entries win.  Lines marked
+        uncoalesced derive their stride from :attr:`uncoalesced_transactions`,
+        whose unit is 128-byte transactions (the flat model's): ``N``
+        transactions means the warp's footprint spans ``N`` cache lines, a
+        per-thread stride of ``N * 128 / warp_size`` bytes — so the
+        hierarchy model's coalescer reproduces the flat model's transaction
+        fan-out.
+        """
+        if line is not None and line in self.access_strides:
+            return max(1, self.access_strides[line])
+        if line is not None and line in self.uncoalesced_lines:
+            line_bytes = 4 * sector_bytes  # one 128-byte transaction
+            return max(
+                self.default_access_stride_bytes,
+                line_bytes * self.uncoalesced_transactions // warp_size,
+            )
+        return max(1, self.default_access_stride_bytes)
+
+    def address_for(self, warp_id: int, access_index: int, stride: int,
+                    num_warps: int, warp_size: int = 32) -> int:
+        """Deterministic base address of one warp's ``access_index``-th access.
+
+        Each warp streams through its own contiguous partition of the
+        working set (wrapping when it runs off the end), so a working set
+        smaller than a cache level yields reuse and a larger one streams —
+        without consuming any randomness, which keeps the flat model's
+        traces bit-identical.
+        """
+        request_bytes = max(1, warp_size * stride)
+        working_set = max(request_bytes, self.working_set_bytes)
+        partition = max(request_bytes, working_set // max(1, num_warps))
+        base = (warp_id * partition) % working_set
+        return (base + (access_index * request_bytes) % partition) % working_set
+
     def rng_for_warp(self, warp_id: int) -> random.Random:
         """A deterministic random stream for one warp."""
         return random.Random((self.seed * 1000003 + warp_id) & 0xFFFFFFFF)
@@ -123,6 +171,11 @@ class WorkloadSpec:
             "call_targets": {str(line): name for line, name in self.call_targets.items()},
             "uncoalesced_lines": sorted(self.uncoalesced_lines),
             "uncoalesced_transactions": self.uncoalesced_transactions,
+            "working_set_bytes": self.working_set_bytes,
+            "access_strides": {
+                str(line): stride for line, stride in self.access_strides.items()
+            },
+            "default_access_stride_bytes": self.default_access_stride_bytes,
             "memory_latency_scale": self.memory_latency_scale,
             "constant_latency_scale": self.constant_latency_scale,
             "shared_latency_scale": self.shared_latency_scale,
@@ -148,6 +201,12 @@ class WorkloadSpec:
             },
             uncoalesced_lines=set(payload.get("uncoalesced_lines") or ()),
             uncoalesced_transactions=payload.get("uncoalesced_transactions", 8),
+            working_set_bytes=payload.get("working_set_bytes", 32 * 1024 * 1024),
+            access_strides={
+                int(line): stride
+                for line, stride in (payload.get("access_strides") or {}).items()
+            },
+            default_access_stride_bytes=payload.get("default_access_stride_bytes", 4),
             memory_latency_scale=payload.get("memory_latency_scale", 1.0),
             constant_latency_scale=payload.get("constant_latency_scale", 1.0),
             shared_latency_scale=payload.get("shared_latency_scale", 1.0),
@@ -169,6 +228,9 @@ class WorkloadSpec:
             call_targets=dict(self.call_targets),
             uncoalesced_lines=set(self.uncoalesced_lines),
             uncoalesced_transactions=self.uncoalesced_transactions,
+            working_set_bytes=self.working_set_bytes,
+            access_strides=dict(self.access_strides),
+            default_access_stride_bytes=self.default_access_stride_bytes,
             memory_latency_scale=self.memory_latency_scale,
             constant_latency_scale=self.constant_latency_scale,
             shared_latency_scale=self.shared_latency_scale,

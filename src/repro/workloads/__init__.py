@@ -17,6 +17,13 @@ compared against GPA's estimate.
 """
 
 from repro.workloads.base import BenchmarkCase, KernelSetup
+from repro.workloads.memory_patterns import (
+    cache_resident_workload,
+    memory_microbenchmark,
+    microbenchmark_config,
+    streaming_workload,
+    strided_workload,
+)
 from repro.workloads.registry import (
     all_cases,
     case_by_name,
@@ -30,7 +37,12 @@ __all__ = [
     "KernelSetup",
     "all_cases",
     "application_cases",
+    "cache_resident_workload",
     "case_by_name",
     "case_names",
+    "memory_microbenchmark",
+    "microbenchmark_config",
     "rodinia_cases",
+    "streaming_workload",
+    "strided_workload",
 ]

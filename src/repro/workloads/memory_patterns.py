@@ -1,0 +1,115 @@
+"""Access-pattern workloads for the memory-hierarchy model.
+
+The registry benchmarks describe *what stalls* (trip counts, uncoalesced
+lines, latency scales); the hierarchy memory model additionally cares about
+*where the bytes live*.  This module packages the canonical access patterns
+as :class:`~repro.sampling.workload.WorkloadSpec` factories around one
+shared load-loop microbenchmark kernel, so tests, CI smoke steps and
+examples can exercise the memory system's extremes:
+
+* :func:`streaming_workload` — unit-stride accesses over a working set far
+  larger than L2: perfectly coalesced, DRAM-bandwidth bound.
+* :func:`strided_workload` — a large per-thread stride: every warp request
+  fans out into many 32-byte sectors (the uncoalesced case the Memory
+  Coalescing optimizer targets).
+* :func:`cache_resident_workload` — unit stride over a working set that
+  fits in L1 (or L2): after the first pass, accesses hit on chip.
+
+All three share the same kernel and trip counts, so their cycle counts and
+hit-rate statistics are directly comparable.
+"""
+
+from __future__ import annotations
+
+from repro.cubin.binary import Cubin
+from repro.cubin.builder import CubinBuilder, imm, p
+from repro.sampling.sample import LaunchConfig
+from repro.sampling.workload import WorkloadSpec
+
+#: Source line of the microbenchmark's global load (the strided access).
+LOAD_LINE = 6
+#: Source line of the loop header.
+LOOP_LINE = 5
+
+
+def memory_microbenchmark(arch_flag: str = "sm_70") -> Cubin:
+    """A load-loop kernel: each iteration loads, accumulates and advances.
+
+    Lines: 1 prologue, 5 loop header, 6 global load, 7 use, 9 store + exit.
+    """
+    builder = CubinBuilder(module_name="memory_patterns", arch_flag=arch_flag)
+    k = builder.kernel("memory_stream", source_file="memory_patterns.cu")
+    k.at_line(1)
+    k.s2r(0, "SR_TID.X")
+    k.s2r(1, "SR_CTAID.X")
+    k.mov_imm(2, 0x100)
+    k.mov_imm(3, 0)
+    k.mov_imm(8, 0)
+    k.mov_imm(9, 1 << 16)
+    k.at_line(LOOP_LINE)
+    k.isetp(0, 8, 9, "LT")
+    with k.loop("stream", predicate=p(0)):
+        k.at_line(LOOP_LINE)
+        k.iadd(8, 8, imm(1))
+        k.at_line(LOAD_LINE)
+        k.ldg(4, 2)
+        k.at_line(7)
+        k.ffma(5, 4, 4, 5)
+        k.iadd(2, 2, imm(128))
+        k.at_line(LOOP_LINE)
+        k.isetp(0, 8, 9, "LT")
+    k.at_line(9)
+    k.stg(2, 5)
+    k.exit()
+    builder.add_function(k.build())
+    return builder.build()
+
+
+def microbenchmark_config(grid_blocks: int = 160,
+                          threads_per_block: int = 128) -> LaunchConfig:
+    """The launch the pattern workloads are tuned for."""
+    return LaunchConfig(grid_blocks=grid_blocks, threads_per_block=threads_per_block)
+
+
+def streaming_workload(trip_count: int = 64,
+                       working_set_bytes: int = 64 * 1024 * 1024) -> WorkloadSpec:
+    """Unit-stride streaming over a DRAM-sized working set."""
+    return WorkloadSpec(
+        name="memory/streaming",
+        loop_trip_counts={LOOP_LINE: trip_count},
+        working_set_bytes=working_set_bytes,
+        default_access_stride_bytes=4,
+    )
+
+
+def strided_workload(stride_bytes: int = 128, trip_count: int = 64,
+                     working_set_bytes: int = 64 * 1024 * 1024) -> WorkloadSpec:
+    """Strided (uncoalesced) accesses: each thread lands in its own sector.
+
+    ``stride_bytes >= 32`` puts every thread of a warp in a distinct
+    32-byte sector, so one request becomes 32 transactions — the worst-case
+    coalescing failure.
+    """
+    return WorkloadSpec(
+        name=f"memory/strided-{stride_bytes}",
+        loop_trip_counts={LOOP_LINE: trip_count},
+        working_set_bytes=working_set_bytes,
+        access_strides={LOAD_LINE: stride_bytes},
+        # Keep the flat model's view consistent: a strided line also issues
+        # more flat-model (128-byte) transactions per access.  A warp of 32
+        # threads at ``stride_bytes`` touches ``32 * stride / 128`` cache
+        # lines, but never more than one per thread.
+        uncoalesced_lines={LOAD_LINE},
+        uncoalesced_transactions=min(32, max(1, stride_bytes // 4)),
+    )
+
+
+def cache_resident_workload(trip_count: int = 64,
+                            working_set_bytes: int = 16 * 1024) -> WorkloadSpec:
+    """Unit-stride accesses over a working set that fits in the L1 cache."""
+    return WorkloadSpec(
+        name="memory/cache-resident",
+        loop_trip_counts={LOOP_LINE: trip_count},
+        working_set_bytes=working_set_bytes,
+        default_access_stride_bytes=4,
+    )

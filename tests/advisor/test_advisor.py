@@ -31,7 +31,8 @@ class TestAdviceReport:
         assert speedups == sorted(speedups, reverse=True)
 
     def test_report_covers_all_registered_optimizers(self, toy_report):
-        assert len(toy_report.advice) == 11
+        # Table 2's eleven plus the Memory Coalescing optimizer.
+        assert len(toy_report.advice) == 12
 
     def test_render_includes_figure8_elements(self, toy_report):
         text = render_report(toy_report)
@@ -46,7 +47,7 @@ class TestAdviceReport:
     def test_to_dict_is_json_serializable(self, toy_report):
         payload = json.loads(json.dumps(toy_report.to_dict()))
         assert payload["kernel"] == "toy_kernel"
-        assert len(payload["advice"]) == 11
+        assert len(payload["advice"]) == 12
         assert payload["totals"]["total_samples"] > 0
 
 

@@ -98,6 +98,10 @@ class TestValidation:
         assert excinfo.value.code == 2
         assert "--jobs must be at least 1" in capsys.readouterr().err
 
-    def test_unknown_case_fails_with_captured_traceback(self, capsys):
-        assert cli_main(["--case", "no/such:case"]) == 1
-        assert "KeyError" in capsys.readouterr().err
+    def test_unknown_case_fails_with_a_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--case", "no/such:case"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark case 'no/such:case'" in err
+        assert "KeyError" not in err

@@ -1,0 +1,79 @@
+"""CLI failure modes must exit non-zero with a clear message, not a traceback."""
+
+import pytest
+
+from repro.advisor.cli import main as cli_main
+
+CASE = "rodinia/gaussian:thread_increase"
+
+
+def _expect_usage_error(argv, capsys, fragment):
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert fragment in err
+    assert "Traceback" not in err
+    return err
+
+
+class TestUnknownCase:
+    def test_unknown_case_label(self, capsys):
+        err = _expect_usage_error(
+            ["--case", "rodinia/nonexistent:nothing"], capsys,
+            "unknown benchmark case 'rodinia/nonexistent:nothing'",
+        )
+        assert "--list" in err
+
+    def test_unknown_case_fails_before_any_simulation(self, capsys):
+        # Even with heavyweight knobs set, the bad label dies immediately.
+        _expect_usage_error(
+            ["--case", "typo", "--scope", "whole_gpu", "--jobs", "4"], capsys,
+            "unknown benchmark case 'typo'",
+        )
+
+
+class TestInvalidChoices:
+    def test_invalid_scope(self, capsys):
+        _expect_usage_error(
+            ["--case", CASE, "--scope", "half_gpu"], capsys,
+            "invalid choice: 'half_gpu'",
+        )
+
+    def test_invalid_memory_model(self, capsys):
+        _expect_usage_error(
+            ["--case", CASE, "--memory-model", "banked"], capsys,
+            "invalid choice: 'banked'",
+        )
+
+    def test_invalid_arch(self, capsys):
+        _expect_usage_error(
+            ["--case", CASE, "--arch", "sm_999"], capsys,
+            "invalid choice: 'sm_999'",
+        )
+
+
+class TestConflictingSources:
+    def test_case_conflicts_with_all(self, capsys):
+        _expect_usage_error(
+            ["--case", CASE, "--all"], capsys,
+            "--case cannot be combined with --all",
+        )
+
+    def test_case_conflicts_with_profile(self, capsys):
+        _expect_usage_error(
+            ["--case", CASE, "--profile", "p.json", "--cubin", "c.json"], capsys,
+            "--case cannot be combined with --profile/--cubin",
+        )
+
+    def test_all_conflicts_with_profile(self, capsys):
+        _expect_usage_error(
+            ["--all", "--profile", "p.json", "--cubin", "c.json"], capsys,
+            "--profile/--cubin cannot be combined with --all",
+        )
+
+    def test_profile_requires_cubin(self, capsys):
+        _expect_usage_error(
+            ["--profile", "p.json"], capsys,
+            "--profile requires --cubin",
+        )

@@ -1,0 +1,70 @@
+"""Tests for the Memory Coalescing optimizer (hierarchy-model signal)."""
+
+import pytest
+
+from repro.api.request import AdvisingRequest
+from repro.api.session import AdvisingSession
+from repro.optimizers.memory import MemoryCoalescingOptimizer
+from repro.workloads.memory_patterns import (
+    memory_microbenchmark,
+    microbenchmark_config,
+    streaming_workload,
+    strided_workload,
+)
+
+
+def _advise(memory_model: str, workload):
+    session = AdvisingSession(sample_period=4, memory_model=memory_model)
+    request = AdvisingRequest(
+        source="binary",
+        cubin=memory_microbenchmark(),
+        kernel="memory_stream",
+        config=microbenchmark_config(grid_blocks=32),
+        workload=workload,
+    )
+    return session.advise(request).require_report()
+
+
+@pytest.fixture(scope="module")
+def strided_hierarchy_report():
+    return _advise("hierarchy", strided_workload(trip_count=24))
+
+
+class TestMemoryCoalescingOptimizer:
+    def test_not_applicable_on_flat_profiles(self):
+        report = _advise("flat", strided_workload(trip_count=24))
+        advice = report.advice_for(MemoryCoalescingOptimizer.name)
+        assert advice is not None
+        assert not advice.applicable
+        assert advice.estimated_speedup == 1.0
+        assert "flat" in advice.details["reason"]
+
+    def test_matches_uncoalesced_hierarchy_profiles(self, strided_hierarchy_report):
+        advice = strided_hierarchy_report.advice_for(MemoryCoalescingOptimizer.name)
+        assert advice is not None
+        assert advice.applicable
+        assert advice.estimated_speedup > 1.0
+        assert advice.matched_samples > 0
+        assert advice.details["transactions_per_request"] > 4.0
+        assert 0.0 < advice.details["excess_transaction_fraction"] < 1.0
+
+    def test_reports_hit_rates_in_details(self, strided_hierarchy_report):
+        advice = strided_hierarchy_report.advice_for(MemoryCoalescingOptimizer.name)
+        assert set(advice.details) >= {
+            "l1_hit_rate", "l2_hit_rate", "dram_bytes",
+            "ideal_transactions_per_request",
+        }
+
+    def test_coalesced_accesses_match_less_than_strided(self, strided_hierarchy_report):
+        coalesced = _advise("hierarchy", streaming_workload(trip_count=24))
+        coalesced_advice = coalesced.advice_for(MemoryCoalescingOptimizer.name)
+        strided_advice = strided_hierarchy_report.advice_for(
+            MemoryCoalescingOptimizer.name)
+        assert coalesced_advice.matched_samples < strided_advice.matched_samples
+
+    def test_advice_round_trips_through_the_wire_format(self, strided_hierarchy_report):
+        from repro.optimizers.base import OptimizationAdvice
+
+        advice = strided_hierarchy_report.advice_for(MemoryCoalescingOptimizer.name)
+        payload = advice.to_dict()
+        assert OptimizationAdvice.from_dict(payload).to_dict() == payload

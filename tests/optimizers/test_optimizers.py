@@ -28,8 +28,9 @@ def report_for(advisor, case_name, optimized=False):
 
 
 class TestRegistry:
-    def test_default_registry_has_eleven_optimizers(self):
-        assert len(OptimizerRegistry()) == 11
+    def test_default_registry_has_twelve_optimizers(self):
+        # Table 2's eleven plus the Memory Coalescing optimizer.
+        assert len(OptimizerRegistry()) == 12
 
     def test_names_match_table2(self):
         names = {optimizer.name for optimizer in default_optimizers()}
@@ -39,7 +40,7 @@ class TestRegistry:
             "GPUWarpBalanceOptimizer", "GPUMemoryTransactionReductionOptimizer",
             "GPULoopUnrollingOptimizer", "GPUCodeReorderingOptimizer",
             "GPUFunctionInliningOptimizer", "GPUBlockIncreaseOptimizer",
-            "GPUThreadIncreaseOptimizer",
+            "GPUThreadIncreaseOptimizer", "GPUMemoryCoalescingOptimizer",
         } == names
 
     def test_register_and_unregister_custom_optimizer(self):

@@ -1,0 +1,72 @@
+"""Acceptance: flat stays bit-identical to the seed, hierarchy diverges.
+
+The recorded constants below are kernel_cycles values produced by the
+simulator *before* the memory-hierarchy engine landed (default session,
+sample_period=8, sm_70, single-wave scope).  ``memory_model="flat"`` — the
+default — must keep reproducing them bit-for-bit; the hierarchy model must
+produce *different* cycles plus nonzero coalescing/hit-rate statistics.
+"""
+
+import pytest
+
+from repro.api.request import request_for_case
+from repro.api.session import AdvisingSession
+from repro.workloads.registry import case_names
+
+#: Pre-hierarchy kernel_cycles of every registry baseline (seed behaviour).
+SEED_KERNEL_CYCLES = {
+    "rodinia/backprop:warp_balance": 39645.86666666667,
+    "rodinia/backprop:strength_reduction": 39645.86666666667,
+    "rodinia/bfs:loop_unrolling": 454937.6,
+    "rodinia/b+tree:code_reorder": 291250.0,
+    "rodinia/cfd:fast_math": 20420.0,
+    "rodinia/gaussian:thread_increase": 23987.2,
+    "rodinia/heartwall:loop_unrolling": 34616.25,
+    "rodinia/hotspot:strength_reduction": 8278.127083333333,
+    "rodinia/huffman:warp_balance": 12868.800000000001,
+    "rodinia/kmeans:loop_unrolling": 181318.5,
+    "rodinia/lavaMD:loop_unrolling": 3220.0,
+    "rodinia/lud:code_reorder": 17359.0,
+    "rodinia/myocyte:fast_math": 158740.0,
+    "rodinia/myocyte:function_splitting": 158740.0,
+    "rodinia/nw:warp_balance": 3454.0,
+    "rodinia/particlefilter:block_increase": 14876.0,
+    "rodinia/streamcluster:block_increase": 10736.0,
+    "rodinia/sradv1:warp_balance": 15460.800000000001,
+    "rodinia/pathfinder:code_reorder": 19390.05416666667,
+    "Quicksilver:function_inlining": 91143.0,
+    "Quicksilver:register_reuse": 91143.0,
+    "ExaTENSOR:strength_reduction": 118470.40000000001,
+    "ExaTENSOR:memory_transaction_reduction": 120768.0,
+    "PeleC:block_increase": 9522.0,
+    "Minimod:fast_math": 35743.75,
+    "Minimod:code_reorder": 21748.046875,
+}
+
+
+def test_seed_table_covers_the_whole_registry():
+    assert sorted(SEED_KERNEL_CYCLES) == sorted(case_names())
+
+
+@pytest.fixture(scope="module")
+def flat_session():
+    return AdvisingSession(sample_period=8)
+
+
+@pytest.mark.parametrize("case_id", sorted(SEED_KERNEL_CYCLES))
+def test_default_flat_model_reproduces_seed_cycles(flat_session, case_id):
+    profiled = flat_session.profile(request_for_case(case_id))
+    assert profiled.profile.statistics.kernel_cycles == SEED_KERNEL_CYCLES[case_id]
+    assert profiled.profile.statistics.memory_model == "flat"
+    assert profiled.profile.statistics.memory is None
+
+
+def test_hierarchy_model_diverges_on_a_memory_bound_case():
+    case_id = "ExaTENSOR:memory_transaction_reduction"  # uncoalesced accesses
+    session = AdvisingSession(sample_period=8, memory_model="hierarchy")
+    profiled = session.profile(request_for_case(case_id))
+    statistics = profiled.profile.statistics
+    assert statistics.kernel_cycles != SEED_KERNEL_CYCLES[case_id]
+    assert statistics.memory_model == "hierarchy"
+    assert statistics.memory is not None
+    assert statistics.memory.sectors > statistics.memory.requests
