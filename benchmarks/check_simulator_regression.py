@@ -3,10 +3,20 @@
 Compares a freshly measured ``simulator_smoke`` summary against the
 committed reference (``BENCH_simulator.json`` at the repository root) and
 fails when throughput dropped by more than the allowed fraction — so an
-accidental slow-down of the event-driven simulator cannot land silently::
+accidental slow-down of the simulator cannot land silently::
 
     PYTHONPATH=src python benchmarks/simulator_smoke.py --output fresh.json
     PYTHONPATH=src python benchmarks/check_simulator_regression.py fresh.json
+
+Both files hold a list of pinned **measurement blocks** (one per simulator
+configuration — the flat single-wave path and the whole-GPU + hierarchy
+path), and the gate is applied *block for block*: every reference block
+must have a fresh twin that measured the identical workload (same case
+list, simulation scope, memory model and sample period), and every twin
+must hold its throughput.  A fresh run that silently skipped the expensive
+configuration therefore fails the gate instead of passing vacuously.
+Pre-suite single-block summaries (and ad-hoc ``--scope ...`` measurements)
+are still understood — they are treated as one-block lists.
 
 The gate is one-sided: faster is always fine.  The committed reference is
 refreshed by hand — rerun ``simulator_smoke.py --output
@@ -15,11 +25,6 @@ changes intentionally (CI additionally uploads each fresh measurement as a
 build artifact for trajectory tracking).  The default tolerance of 30%
 allows for runner-to-runner hardware variance; genuine regressions (the
 PR 3 event-driven rewrite was a 2.5x swing) blow well past it.
-
-Summaries are only compared when they measured the same workload: the case
-list, simulation scope, memory model and sample period must all match, so
-a whole-GPU or hierarchy measurement can never be judged against the flat
-single-wave reference.
 """
 
 from __future__ import annotations
@@ -28,40 +33,100 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import List, Tuple
 
 DEFAULT_REFERENCE = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
+#: The workload-identity fields two blocks must share to be comparable
+#: (with the defaults pre-suite summaries implied).
+IDENTITY = (("cases", None), ("simulation_scope", "single_wave"),
+            ("memory_model", "flat"), ("sample_period", 8))
 
-def check(fresh: dict, reference: dict, max_drop: float) -> str:
+
+def blocks_of(summary: dict, origin: str) -> List[dict]:
+    """The measurement blocks of a summary (legacy single-block included)."""
+    if summary.get("benchmark") != "simulator_smoke":
+        raise ValueError(f"{origin} summary is not a simulator_smoke result")
+    if "measurements" in summary:
+        blocks = summary["measurements"]
+        if not isinstance(blocks, list) or not blocks:
+            raise ValueError(f"{origin} summary has no measurement blocks")
+        return blocks
+    return [summary]  # pre-suite layout: the summary is the one block
+
+
+def identity_of(block: dict) -> tuple:
+    return tuple(
+        json.dumps(block.get(key, default), sort_keys=True)
+        for key, default in IDENTITY
+    )
+
+
+def describe(block: dict) -> str:
+    return (
+        f"{block.get('simulation_scope', 'single_wave')}"
+        f"+{block.get('memory_model', 'flat')}"
+        f" over {len(block.get('cases') or [])} cases"
+    )
+
+
+def check_block(fresh: dict, reference: dict, max_drop: float) -> str:
     """An error message if ``fresh`` regressed past ``max_drop``, else ''."""
-    for summary, origin in ((fresh, "fresh"), (reference, "reference")):
-        if summary.get("benchmark") != "simulator_smoke":
-            return f"{origin} summary is not a simulator_smoke result"
     fresh_rate = fresh.get("cycles_per_second") or 0
     reference_rate = reference.get("cycles_per_second") or 0
     if reference_rate <= 0:
-        return f"reference throughput is {reference_rate}; regenerate the baseline"
-    # Throughput is only comparable when the workload configuration is
-    # identical; "memory_model" is absent from pre-hierarchy references and
-    # defaults to the behaviour they measured (flat).
-    comparable = ("cases", ("simulation_scope", "single_wave"),
-                  ("memory_model", "flat"), ("sample_period", 8))
-    for key in comparable:
-        key, default = key if isinstance(key, tuple) else (key, None)
-        if fresh.get(key, default) != reference.get(key, default):
-            return (
-                f"{key} differs; the comparison is meaningless "
-                f"(fresh {fresh.get(key, default)!r} vs reference "
-                f"{reference.get(key, default)!r})"
-            )
+        return (
+            f"reference throughput of {describe(reference)} is "
+            f"{reference_rate}; regenerate the baseline"
+        )
     floor = reference_rate * (1.0 - max_drop)
     if fresh_rate < floor:
         drop = 1.0 - fresh_rate / reference_rate
         return (
-            f"simulator throughput regressed {drop:.1%}: "
-            f"{fresh_rate:,} cycles/s vs reference {reference_rate:,} "
-            f"(allowed drop {max_drop:.0%}, floor {floor:,.0f})"
+            f"simulator throughput of {describe(reference)} regressed "
+            f"{drop:.1%}: {fresh_rate:,} cycles/s vs reference "
+            f"{reference_rate:,} (allowed drop {max_drop:.0%}, "
+            f"floor {floor:,.0f})"
         )
+    return ""
+
+
+def pair_blocks(fresh: dict, reference: dict) -> Tuple[str, List[Tuple[dict, dict]]]:
+    """Match every reference block to its fresh twin by workload identity.
+
+    Returns ``(error, pairs)``: a non-empty error (and no pairs) when either
+    summary is malformed or a pinned reference configuration has no fresh
+    measurement — the single source of pairing truth for both the gate and
+    the ok-report.
+    """
+    try:
+        fresh_blocks = blocks_of(fresh, "fresh")
+        reference_blocks = blocks_of(reference, "reference")
+    except ValueError as exc:
+        return str(exc), []
+    fresh_by_identity = {identity_of(block): block for block in fresh_blocks}
+    pairs = []
+    for reference_block in reference_blocks:
+        twin = fresh_by_identity.get(identity_of(reference_block))
+        if twin is None:
+            return (
+                f"fresh run has no measurement of {describe(reference_block)} "
+                f"(cases {reference_block.get('cases')!r}); the gate cannot "
+                f"pass by skipping a pinned configuration"
+            ), []
+        pairs.append((reference_block, twin))
+    return "", pairs
+
+
+def check(fresh: dict, reference: dict, max_drop: float) -> str:
+    """Gate every reference block against its fresh twin; '' when all hold."""
+    error, pairs = pair_blocks(fresh, reference)
+    if error:
+        return error
+    for reference_block, twin in pairs:
+        error = check_block(twin, reference_block, max_drop)
+        if error:
+            return error
     return ""
 
 
@@ -80,10 +145,14 @@ def main(argv=None) -> int:
     if error:
         print(f"FAIL: {error}", file=sys.stderr)
         return 1
-    print(
-        f"ok: {fresh['cycles_per_second']:,} cycles/s vs reference "
-        f"{reference['cycles_per_second']:,} (within {args.max_drop:.0%})"
-    )
+    _, pairs = pair_blocks(fresh, reference)
+    for reference_block, twin in pairs:
+        print(
+            f"ok: {describe(reference_block)}: "
+            f"{twin['cycles_per_second']:,} cycles/s vs reference "
+            f"{reference_block['cycles_per_second']:,} "
+            f"(within {args.max_drop:.0%})"
+        )
     return 0
 
 

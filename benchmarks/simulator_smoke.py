@@ -7,12 +7,25 @@ actually walked (``wave_cycles`` for the single-wave scope, the sum of
 every SM's cycles across every wave for the whole-GPU scope) divided by the
 time spent inside :meth:`AdvisingSession.profile`.
 
+By default the smoke measures the **pinned suite** — one block per
+configuration the regression gate watches:
+
+* ``single_wave`` + ``flat`` over 3 cases — the cheap extrapolating path
+  every CI run and most users exercise;
+* ``whole_gpu`` + ``hierarchy`` over 1 case — the expensive path (full-grid
+  dispatch through the L1/L2/DRAM model), so a slow-down that only affects
+  the detailed engines cannot land silently.
+
 The result is written as JSON — by default to ``BENCH_simulator.json`` at
 the repository root — so CI can track the simulator's perf trajectory run
 over run::
 
     PYTHONPATH=src python benchmarks/simulator_smoke.py
-    PYTHONPATH=src python benchmarks/simulator_smoke.py --cases 2 --output /tmp/bench.json
+    PYTHONPATH=src python benchmarks/simulator_smoke.py \
+        --scope whole_gpu --memory-model hierarchy --cases 1 --output /tmp/bench.json
+
+Passing any of ``--scope``/``--memory-model``/``--cases``/``--sample-period``
+measures just that one configuration instead of the pinned suite.
 
 The workload is deterministic (fixed case list, fixed sample period), so
 throughput changes reflect simulator changes, not workload drift.
@@ -37,6 +50,13 @@ from repro.sampling.profiler import SIMULATION_SCOPES
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 #: The bench_pipeline_batch subset the smoke run profiles.
 SMOKE_CASES = CASES[:3]
+#: The pinned measurement suite (scope, memory model, case count) the
+#: regression gate compares block for block.  The whole-GPU + hierarchy
+#: block walks ~70x more simulated cycles per case, so it pins one case.
+SMOKE_SUITE = (
+    ("single_wave", "flat", 3),
+    ("whole_gpu", "hierarchy", 1),
+)
 
 
 def run_smoke(case_ids, sample_period: int = 8, simulation_scope: str = "single_wave",
@@ -72,11 +92,9 @@ def run_smoke(case_ids, sample_period: int = 8, simulation_scope: str = "single_
                 }
             )
     return {
-        "benchmark": "simulator_smoke",
         "simulation_scope": simulation_scope,
         "memory_model": memory_model,
         "sample_period": sample_period,
-        "python": platform.python_version(),
         "cases": list(case_ids),
         "profiles": per_case,
         "simulated_cycles": simulated_cycles,
@@ -85,32 +103,64 @@ def run_smoke(case_ids, sample_period: int = 8, simulation_scope: str = "single_
     }
 
 
+def run_suite(sample_period: int = 8) -> list:
+    """Measure every pinned :data:`SMOKE_SUITE` configuration."""
+    return [
+        run_smoke(
+            SMOKE_CASES[:case_count],
+            sample_period=sample_period,
+            simulation_scope=scope,
+            memory_model=memory_model,
+        )
+        for scope, memory_model, case_count in SMOKE_SUITE
+    ]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT), metavar="PATH",
                         help="where to write the JSON summary")
-    parser.add_argument("--cases", type=int, default=len(SMOKE_CASES), metavar="N",
-                        help=f"how many smoke cases to run (default {len(SMOKE_CASES)})")
-    parser.add_argument("--sample-period", type=int, default=8)
-    parser.add_argument("--scope", default="single_wave",
+    parser.add_argument("--cases", type=int, default=None, metavar="N",
+                        help="how many smoke cases to run (single-measurement mode)")
+    parser.add_argument("--sample-period", type=int, default=None)
+    parser.add_argument("--scope", default=None,
                         choices=SIMULATION_SCOPES, dest="simulation_scope")
-    parser.add_argument("--memory-model", default="flat",
+    parser.add_argument("--memory-model", default=None,
                         choices=MEMORY_MODELS, dest="memory_model")
     args = parser.parse_args(argv)
 
-    summary = run_smoke(
-        SMOKE_CASES[: args.cases],
-        sample_period=args.sample_period,
-        simulation_scope=args.simulation_scope,
-        memory_model=args.memory_model,
+    single_config = any(
+        value is not None
+        for value in (args.cases, args.simulation_scope,
+                      args.memory_model, args.sample_period)
     )
+    period = args.sample_period if args.sample_period is not None else 8
+    if single_config:
+        measurements = [
+            run_smoke(
+                SMOKE_CASES[: args.cases if args.cases is not None else len(SMOKE_CASES)],
+                sample_period=period,
+                simulation_scope=args.simulation_scope or "single_wave",
+                memory_model=args.memory_model or "flat",
+            )
+        ]
+    else:
+        measurements = run_suite(sample_period=period)
+    summary = {
+        "benchmark": "simulator_smoke",
+        "python": platform.python_version(),
+        "measurements": measurements,
+    }
     Path(args.output).write_text(json.dumps(summary, indent=2) + "\n")
-    print(
-        f"{len(summary['profiles'])} profiles, "
-        f"{summary['simulated_cycles']} simulated cycles in "
-        f"{summary['wall_seconds']:.2f}s -> "
-        f"{summary['cycles_per_second']:,} cycles/s -> {args.output}"
-    )
+    for block in measurements:
+        print(
+            f"[{block['simulation_scope']}+{block['memory_model']}] "
+            f"{len(block['profiles'])} profiles, "
+            f"{block['simulated_cycles']} simulated cycles in "
+            f"{block['wall_seconds']:.2f}s -> "
+            f"{block['cycles_per_second']:,} cycles/s"
+        )
+    print(f"-> {args.output}")
     return 0
 
 

@@ -25,7 +25,12 @@ The package is organised as the paper's Figure 2:
   :class:`~repro.api.request.AdvisingRequest` objects, the
   :class:`~repro.api.session.AdvisingSession` that executes them (inline,
   ordered batch, or streamed from a process pool), and lossless
-  request/result serialization under an explicit schema version.
+  request/result serialization under an explicit schema version;
+* :mod:`repro.service` — the persistent advising daemon: a bounded job
+  queue with backpressure, a TTL-evicting job store, a versioned
+  JSON-over-HTTP protocol (``gpa-advise serve``) and the
+  :class:`~repro.service.client.ServiceClient` whose results are
+  bit-identical to inline advising.
 
 Quickstart::
 
@@ -66,13 +71,16 @@ from repro.sampling.profiler import SIMULATION_SCOPES, ProfiledKernel, Profiler
 from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
 from repro.sampling.stall_reasons import DetailedStallReason, StallReason
 from repro.sampling.workload import WorkloadSpec
+from repro.service.client import ServiceClient
+from repro.service.daemon import AdvisingDaemon, ServiceConfig
 from repro.structure.program import ProgramStructure, build_program_structure
 
-__version__ = "1.0.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "API_SCHEMA_VERSION",
     "AdviceReport",
+    "AdvisingDaemon",
     "AdvisingRequest",
     "AdvisingResult",
     "AdvisingSession",
@@ -106,6 +114,8 @@ __all__ = [
     "Profiler",
     "ProgramStructure",
     "RequestBuilder",
+    "ServiceClient",
+    "ServiceConfig",
     "MEMORY_MODELS",
     "MemoryStatistics",
     "SIMULATION_SCOPES",

@@ -25,13 +25,21 @@ builds an :class:`~repro.api.session.AdvisingSession`, describes the work as
 
    # Analyze an offline profile dumped by the profiler.
    gpa-advise --profile profile.json --cubin module.json
+
+   # Run the persistent advising daemon, then submit jobs to it.  Reports
+   # coming back from the daemon are bit-identical to inline runs.
+   gpa-advise serve --port 8765 --workers 4 --cache-dir .gpa-cache
+   gpa-advise submit --url http://127.0.0.1:8765 --case rodinia/hotspot:strength_reduction
+   gpa-advise submit --url http://127.0.0.1:8765 --all --limit 3 --output json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -55,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gpa-advise",
         description="GPU Performance Advisor (simulator-backed reproduction)",
+        epilog="Subcommands: 'gpa-advise serve' runs the persistent advising "
+               "daemon; 'gpa-advise submit' sends jobs to it (see "
+               "'gpa-advise serve --help' / 'gpa-advise submit --help' and "
+               "docs/SERVICE.md).",
     )
     parser.add_argument("--list", action="store_true", help="list the built-in benchmark cases")
     parser.add_argument("--case", help="benchmark case to profile and analyze (see --list)")
@@ -163,27 +175,30 @@ def _progress_printer(stream):
     return on_event
 
 
-def _sweep_all(args: argparse.Namespace) -> int:
-    """Run the full-registry sweep through one session."""
-    ids = case_names()
-    if args.limit is not None:
-        ids = ids[: args.limit]
-    variant = "optimized" if args.optimized else "baseline"
-    session = _session(args)
-    requests = [request_for_case(case_id, variant, arch_flag=args.arch) for case_id in ids]
+def _emit_jsonl(results) -> int:
+    """Stream one compact JSON line per result as it becomes available —
+    shared by the inline ``--all`` sweep (completion order) and
+    ``submit --all`` (submission order)."""
+    failures = 0
+    for result in results:
+        (line,) = dump_jsonl([result])
+        print(line, flush=True)
+        failures += 0 if result.ok else 1
+    return 1 if failures else 0
 
-    if args.output == "jsonl":
-        # Stream one compact JSON line per result, in completion order.
-        failures = 0
-        for result in session.stream(requests):
-            (line,) = dump_jsonl([result])
-            print(line, flush=True)
-            failures += 0 if result.ok else 1
-        return 1 if failures else 0
 
-    results = session.advise_many(requests, progress=_progress_printer(sys.stderr))
+def _emit_batch_results(
+    results: List[AdvisingResult],
+    variant: str,
+    arch: str,
+    output: str,
+    engine_note: str,
+) -> int:
+    """Render a finished batch (``json`` or ``text``) — shared between the
+    inline ``--all`` sweep and ``submit --all``, so the two produce the same
+    shapes and the CI smoke can diff them field for field."""
     failures = [result for result in results if not result.ok]
-    if args.output == "json":
+    if output == "json":
         payload = []
         for result in results:
             entry = {
@@ -196,7 +211,7 @@ def _sweep_all(args: argparse.Namespace) -> int:
                 entry.update(
                     kernel=result.report.kernel,
                     variant=variant,
-                    arch=args.arch,
+                    arch=arch,
                     report=result.report.to_dict(),
                 )
             payload.append(entry)
@@ -221,15 +236,298 @@ def _sweep_all(args: argparse.Namespace) -> int:
             )
         print(
             f"\n{len(results) - len(failures)}/{len(results)} cases ok "
-            f"on {args.arch} ({args.jobs} job{'s' if args.jobs != 1 else ''})"
+            f"on {arch} ({engine_note})"
         )
         for result in failures:
             print(f"\n{result.label} failed:\n{result.error}", file=sys.stderr)
     return 1 if failures else 0
 
 
+def _sweep_all(args: argparse.Namespace) -> int:
+    """Run the full-registry sweep through one session."""
+    ids = case_names()
+    if args.limit is not None:
+        ids = ids[: args.limit]
+    variant = "optimized" if args.optimized else "baseline"
+    session = _session(args)
+    requests = [request_for_case(case_id, variant, arch_flag=args.arch) for case_id in ids]
+
+    if args.output == "jsonl":
+        return _emit_jsonl(session.stream(requests))
+
+    results = session.advise_many(requests, progress=_progress_printer(sys.stderr))
+    return _emit_batch_results(
+        results, variant, args.arch, args.output,
+        f"{args.jobs} job{'s' if args.jobs != 1 else ''}",
+    )
+
+
+# ----------------------------------------------------------------------
+# The service subcommands: `gpa-advise serve` / `gpa-advise submit`
+# ----------------------------------------------------------------------
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpa-advise serve",
+        description="Run the persistent advising daemon (see docs/SERVICE.md). "
+                    "SIGTERM/SIGINT drain every admitted job, persist the "
+                    "profile cache and exit 0.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="TCP port (default 8765; 0 picks a free port)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker processes/threads executing jobs (default 2)")
+    parser.add_argument("--queue-size", type=int, default=64, metavar="N",
+                        help="bounded job-queue capacity; submissions beyond it "
+                             "are rejected with HTTP 429 (default 64)")
+    parser.add_argument("--job-ttl", type=float, default=900.0, metavar="SECONDS",
+                        help="how long finished job results stay queryable "
+                             "(default 900)")
+    parser.add_argument("--inline", action="store_true",
+                        help="execute jobs in worker threads instead of a "
+                             "process pool (serialized; for debugging/tests)")
+    parser.add_argument("--ready-file", metavar="PATH",
+                        help="write 'host port pid' to PATH once the socket is "
+                             "bound (for scripts that must wait for readiness)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log one line per HTTP request to stderr")
+    parser.add_argument("--arch", default="sm_70", choices=architecture_flags(),
+                        help="architecture model jobs run on by default")
+    parser.add_argument("--sample-period", type=int, default=8)
+    parser.add_argument("--scope", default="single_wave", choices=SIMULATION_SCOPES,
+                        dest="simulation_scope", metavar="SCOPE")
+    parser.add_argument("--memory-model", default="flat", choices=MEMORY_MODELS,
+                        dest="memory_model", metavar="MODEL")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        help="on-disk profile cache shared by every worker")
+    return parser
+
+
+def _serve_main(argv: List[str], stop: Optional[threading.Event] = None) -> int:
+    """``gpa-advise serve``: run the daemon until SIGTERM/SIGINT (or ``stop``)."""
+    from repro.service import AdvisingDaemon, ServiceConfig, ServiceHTTPServer
+    from repro.service.errors import ServiceError
+
+    parser = _build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.queue_size < 1:
+        parser.error("--queue-size must be at least 1")
+    if args.job_ttl <= 0:
+        parser.error("--job-ttl must be positive")
+    if args.sample_period <= 0:
+        parser.error("--sample-period must be positive")
+
+    try:
+        config = ServiceConfig(
+            arch_flag=args.arch,
+            sample_period=args.sample_period,
+            simulation_scope=args.simulation_scope,
+            memory_model=args.memory_model,
+            cache_dir=args.cache_dir,
+        )
+        daemon = AdvisingDaemon(
+            config,
+            workers=args.workers,
+            queue_capacity=args.queue_size,
+            job_ttl=args.job_ttl,
+            use_pool=not args.inline,
+        )
+        # Bind the socket *before* forking the worker pool: a taken port
+        # fails with a one-line message and nothing to tear down.
+        server = ServiceHTTPServer(
+            (args.host, args.port), daemon, quiet=not args.verbose
+        )
+    except ServiceError as exc:
+        print(f"gpa-advise serve: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"gpa-advise serve: cannot listen on "
+            f"{args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        daemon.start()
+    except Exception as exc:
+        server.server_close()
+        print(f"gpa-advise serve: {exc}", file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    print(
+        f"gpa-advise service listening on http://{host}:{port} "
+        f"(workers={args.workers}, queue={args.queue_size}, arch={args.arch}, "
+        f"scope={args.simulation_scope}, memory_model={args.memory_model}, "
+        f"cache={args.cache_dir or 'off'})",
+        file=sys.stderr, flush=True,
+    )
+    if args.ready_file:
+        import os
+
+        Path(args.ready_file).write_text(f"{host} {port} {os.getpid()}\n")
+
+    if stop is None:
+        stop = threading.Event()
+    # SIGTERM and SIGINT both trigger the graceful drain.  Handlers can only
+    # be installed from the main thread; embedded callers (tests) pass their
+    # own `stop` event instead.
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: stop.set())
+    except ValueError:
+        pass
+
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    try:
+        # Event.wait() would not return when a signal handler merely sets the
+        # flag, so poll in short slices.
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        print("gpa-advise service draining...", file=sys.stderr, flush=True)
+        server.shutdown()
+        server.server_close()
+        summary = daemon.shutdown(drain=True)
+        print(
+            f"gpa-advise service stopped: {summary['jobs_served']} jobs served "
+            f"({summary['jobs_failed']} failed, {summary['jobs_aborted']} aborted)",
+            file=sys.stderr, flush=True,
+        )
+    return 0
+
+
+def _build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpa-advise submit",
+        description="Submit advising jobs to a running gpa-advise daemon and "
+                    "wait for the results (bit-identical to inline runs).",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="base URL of the daemon (default http://127.0.0.1:8765)")
+    parser.add_argument("--healthz", action="store_true",
+                        help="print the daemon's health document and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the daemon's stats document and exit")
+    parser.add_argument("--case", help="benchmark case to submit (see --list)")
+    parser.add_argument("--optimized", action="store_true",
+                        help="submit the hand-optimized variant instead of the baseline")
+    parser.add_argument("--all", action="store_true",
+                        help="submit every registry case as one atomic batch")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="with --all: only submit the first N cases")
+    parser.add_argument("--arch", default="sm_70", choices=architecture_flags(),
+                        help="architecture model to pin on each request (default sm_70)")
+    parser.add_argument("--sample-period", type=int, default=None,
+                        help="pin a PC sampling period per request "
+                             "(default: the daemon's configured period)")
+    parser.add_argument("--scope", default=None, choices=SIMULATION_SCOPES,
+                        dest="simulation_scope", metavar="SCOPE",
+                        help="pin a simulation scope per request "
+                             "(default: the daemon's configured scope)")
+    parser.add_argument("--memory-model", default=None, choices=MEMORY_MODELS,
+                        dest="memory_model", metavar="MODEL",
+                        help="pin a memory model per request "
+                             "(default: the daemon's configured model)")
+    parser.add_argument("--top", type=int, default=5, help="number of optimizers to show")
+    parser.add_argument("--output", choices=OUTPUT_FORMATS, default="text",
+                        help="output format, mirroring the inline CLI")
+    parser.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS",
+                        help="how long to wait for completion (default 600)")
+    parser.add_argument("--poll", type=float, default=0.1, metavar="SECONDS",
+                        help="job polling interval (default 0.1)")
+    return parser
+
+
+def _submit_main(argv: List[str]) -> int:
+    """``gpa-advise submit``: drive one daemon round-trip from the shell."""
+    from repro.service import ServiceClient
+    from repro.service.errors import ServiceError
+
+    parser = _build_submit_parser()
+    args = parser.parse_args(argv)
+    actions = sum(bool(flag) for flag in (args.healthz, args.stats, args.case, args.all))
+    if actions == 0:
+        parser.error("nothing to do: pass --case, --all, --healthz or --stats")
+    if actions > 1:
+        parser.error("--case, --all, --healthz and --stats are mutually exclusive")
+    if args.limit is not None and not args.all:
+        parser.error("--limit only applies to --all batches")
+    if args.limit is not None and args.limit < 0:
+        parser.error("--limit must be non-negative")
+    if args.top <= 0:
+        parser.error("--top must be positive")
+    if args.sample_period is not None and args.sample_period <= 0:
+        parser.error("--sample-period must be positive")
+    if args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if args.poll <= 0:
+        parser.error("--poll must be positive")
+    if args.case:
+        try:
+            case_by_name(args.case)
+        except KeyError:
+            parser.error(
+                f"unknown benchmark case {args.case!r}; run gpa-advise --list "
+                "to see the available cases"
+            )
+
+    client = ServiceClient(args.url)
+    variant = "optimized" if args.optimized else "baseline"
+
+    def build_request(case_id: str) -> AdvisingRequest:
+        return request_for_case(
+            case_id, variant,
+            arch_flag=args.arch,
+            sample_period=args.sample_period,
+            simulation_scope=args.simulation_scope,
+            memory_model=args.memory_model,
+        )
+
+    try:
+        if args.healthz:
+            print(json.dumps(client.healthz(), indent=2))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if args.case:
+            result = client.advise(
+                build_request(args.case), timeout=args.timeout,
+                poll_interval=args.poll,
+            )
+            if not result.ok and args.output != "jsonl":
+                print(result.error, file=sys.stderr)
+                return 1
+            return _emit_single(result, args)
+        # --all: one atomic batch, results in submission order.  An empty
+        # selection (--limit 0) renders an empty sweep like the inline CLI
+        # does, instead of posting a batch the daemon would reject.
+        ids = case_names()
+        if args.limit is not None:
+            ids = ids[: args.limit]
+        results = client.advise_many(
+            [build_request(case_id) for case_id in ids],
+            timeout=args.timeout, poll_interval=args.poll,
+        ) if ids else []
+        if args.output == "jsonl":
+            return _emit_jsonl(results)
+        return _emit_batch_results(results, variant, args.arch, args.output, "service")
+    except ServiceError as exc:
+        print(f"gpa-advise submit: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``gpa-advise``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(list(argv[1:]))
+    if argv and argv[0] == "submit":
+        return _submit_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -204,3 +204,130 @@ def format_table3(result: Table3Result, include_paper: bool = True) -> str:
         for case_id, error in result.failures:
             lines.append(f"  {case_id}: {error_summary(error)}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Command-line entry point (the nightly sweep's engine)
+# ----------------------------------------------------------------------
+def table3_payload(result: Table3Result, config: dict) -> dict:
+    """A JSON document of the reproduced table (the nightly artifact)."""
+    return {
+        "kind": "table3",
+        "config": config,
+        "rows": [
+            {
+                "case": row.case.case_id,
+                "application": row.case.name,
+                "kernel": row.case.kernel,
+                "optimization": row.case.optimization,
+                "baseline_cycles": row.baseline_cycles,
+                "optimized_cycles": row.optimized_cycles,
+                "achieved_speedup": row.achieved_speedup,
+                "estimated_speedup": row.estimated_speedup,
+                "error": row.error,
+                "optimizer_rank": row.optimizer_rank,
+                "total_samples": row.total_samples,
+                "paper_achieved_speedup": row.case.paper_achieved_speedup,
+                "paper_estimated_speedup": row.case.paper_estimated_speedup,
+            }
+            for row in result.rows
+        ],
+        "failures": [
+            {"case": case_id, "error": error}
+            for case_id, error in result.failures
+        ],
+        "geomean_achieved": result.geomean_achieved,
+        "geomean_estimated": result.geomean_estimated,
+        "geomean_error": result.geomean_error,
+        "mean_error": result.mean_error,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.evaluation.table3``: sweep the registry, write the table.
+
+    Exits non-zero when any case failed, so a scheduled sweep turns red
+    instead of silently shrinking the table.
+    """
+    import argparse
+    import json
+    import sys
+    from pathlib import Path
+
+    from repro.sampling.memory import MEMORY_MODELS
+    from repro.sampling.profiler import SIMULATION_SCOPES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation.table3",
+        description="Reproduce Table 3 over the full benchmark registry.",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    parser.add_argument("--arch", default="sm_70", dest="arch_flag",
+                        help="architecture model (default sm_70)")
+    parser.add_argument("--sample-period", type=int, default=8)
+    parser.add_argument("--scope", default="single_wave", choices=SIMULATION_SCOPES,
+                        dest="simulation_scope", metavar="SCOPE")
+    parser.add_argument("--memory-model", default="flat", choices=MEMORY_MODELS,
+                        dest="memory_model", metavar="MODEL")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="only evaluate the first N registry cases")
+    parser.add_argument("--text", default="-", metavar="PATH",
+                        help="where to write the rendered table ('-' = stdout)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the table as a JSON document")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.sample_period <= 0:
+        parser.error("--sample-period must be positive")
+    if args.limit is not None and args.limit < 0:
+        parser.error("--limit must be non-negative")
+
+    cases = all_cases()
+    if args.limit is not None:
+        cases = cases[: args.limit]
+
+    def progress(event) -> None:
+        if event.status == "start":
+            return
+        status = "ok" if event.status == "done" else "FAILED"
+        print(f"  {event.step:55s} {status} ({event.duration:.2f}s)",
+              file=sys.stderr, flush=True)
+
+    result = evaluate_table3(
+        cases,
+        sample_period=args.sample_period,
+        jobs=args.jobs,
+        arch_flag=args.arch_flag,
+        cache_dir=args.cache_dir,
+        progress=progress,
+        simulation_scope=args.simulation_scope,
+        memory_model=args.memory_model,
+    )
+    rendered = format_table3(result)
+    if args.text == "-":
+        print(rendered)
+    else:
+        Path(args.text).write_text(rendered + "\n")
+    if args.json is not None:
+        config = {
+            "arch_flag": args.arch_flag,
+            "sample_period": args.sample_period,
+            "simulation_scope": args.simulation_scope,
+            "memory_model": args.memory_model,
+            "cases": len(cases),
+            "jobs": args.jobs,
+        }
+        Path(args.json).write_text(
+            json.dumps(table3_payload(result, config), indent=2) + "\n"
+        )
+    if result.failures:
+        print(f"{len(result.failures)} case(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

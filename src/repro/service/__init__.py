@@ -1,0 +1,72 @@
+"""repro.service — the persistent concurrent advising daemon.
+
+The paper's GPA is a one-shot profiler-advisor; this package turns it into
+a long-lived service.  One :class:`~repro.service.daemon.AdvisingDaemon`
+multiplexes any number of clients over a single shared configuration,
+profile cache and worker pool:
+
+* a bounded FIFO :class:`~repro.service.queue.JobQueue` applies
+  backpressure (HTTP 429) instead of accepting unbounded work;
+* a :class:`~repro.service.jobs.JobStore` tracks every job through
+  ``queued -> running -> done | failed`` and TTL-evicts settled results;
+* a versioned JSON-over-HTTP protocol
+  (:mod:`repro.service.http`: ``POST /v1/advise``, ``POST /v1/batch``,
+  ``GET /v1/jobs/<id>``, ``GET /v1/healthz``, ``GET /v1/stats``) validates
+  every envelope against :data:`~repro.api.schema.API_SCHEMA_VERSION`;
+* a :class:`~repro.service.client.ServiceClient` mirrors
+  :class:`~repro.api.session.AdvisingSession`'s ``advise``/``advise_many``
+  surface, returning **bit-identical** reports;
+* shutdown is graceful: drain the queue, settle every job, persist the
+  profile cache, answer 503 to latecomers — exactly what the
+  ``gpa-advise serve`` SIGTERM handler triggers.
+
+Quickstart (see ``docs/SERVICE.md`` for the full protocol)::
+
+    from repro.service import AdvisingDaemon, ServiceConfig, ServiceHTTPServer
+    daemon = AdvisingDaemon(ServiceConfig(cache_dir=".gpa-cache"), workers=4).start()
+    server = ServiceHTTPServer(("127.0.0.1", 8765), daemon)
+    server.serve_forever()          # or: gpa-advise serve --port 8765
+
+    from repro.service import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8765")
+    result = client.advise(request)         # == session.advise(request), bit for bit
+"""
+
+from repro.service.client import DEFAULT_POLL_INTERVAL, JobView, ServiceClient
+from repro.service.daemon import AdvisingDaemon, DAEMON_STATES, ServiceConfig
+from repro.service.errors import (
+    QueueFullError,
+    ServiceConnectionError,
+    ServiceError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+    ServiceValidationError,
+    UnknownJobError,
+)
+from repro.service.http import ServiceHTTPServer, ServiceRequestHandler
+from repro.service.jobs import JOB_STATES, Job, JobCounts, JobStore, TERMINAL_STATES
+from repro.service.queue import JobQueue
+
+__all__ = [
+    "AdvisingDaemon",
+    "DAEMON_STATES",
+    "DEFAULT_POLL_INTERVAL",
+    "Job",
+    "JobCounts",
+    "JobQueue",
+    "JobStore",
+    "JobView",
+    "JOB_STATES",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceConnectionError",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceRequestHandler",
+    "ServiceTimeoutError",
+    "ServiceUnavailableError",
+    "ServiceValidationError",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+]

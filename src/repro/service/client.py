@@ -1,0 +1,210 @@
+"""The thin client of the advising daemon.
+
+:class:`ServiceClient` speaks the daemon's ``/v1`` protocol over stdlib
+``urllib`` and translates both directions of the boundary: requests go out
+as their :meth:`~repro.api.request.AdvisingRequest.to_dict` wire form,
+results come back as typed :class:`~repro.api.result.AdvisingResult`
+objects, and daemon-side errors resurface as the *same*
+:mod:`repro.service.errors` classes the daemon raised (a full queue raises
+:class:`~repro.service.errors.QueueFullError` in the submitting process).
+
+The high-level calls mirror :class:`~repro.api.session.AdvisingSession`
+deliberately::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    result = client.advise(request)            # submit + poll to completion
+    results = client.advise_many(requests)     # atomic batch, ordered
+
+so moving a workload from inline advising onto the daemon is a one-line
+change — and the results are bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.api.request import AdvisingRequest
+from repro.api.result import AdvisingResult
+from repro.service.errors import (
+    ServiceConnectionError,
+    ServiceError,
+    ServiceTimeoutError,
+    error_for_status,
+)
+
+#: How often :meth:`ServiceClient.wait` polls a job by default.
+DEFAULT_POLL_INTERVAL = 0.05
+
+
+@dataclass
+class JobView:
+    """A client-side snapshot of one job (``GET /v1/jobs/<id>`` decoded)."""
+
+    job_id: str
+    state: str
+    index: int
+    label: str
+    result: Optional[AdvisingResult]
+    error: Optional[str]
+    raw: dict
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+
+class ServiceClient:
+    """Talks to one advising daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw protocol
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._decode_error(exc) from None
+        except urllib.error.URLError as exc:
+            raise ServiceConnectionError(
+                f"cannot reach the advising service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _decode_error(exc: urllib.error.HTTPError) -> ServiceError:
+        message = f"HTTP {exc.code}"
+        try:
+            body = json.loads(exc.read().decode("utf-8"))
+            message = body.get("error", message)
+        except Exception:  # non-JSON error body: keep the status line
+            pass
+        return error_for_status(exc.code, message)
+
+    def _get(self, path: str) -> dict:
+        return self._call("GET", path)
+
+    def _post(self, path: str, payload: dict) -> dict:
+        return self._call("POST", path, payload)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._get("/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._get("/v1/stats")
+
+    # ------------------------------------------------------------------
+    # Submission and polling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _payload(request: Union[AdvisingRequest, dict]) -> dict:
+        return request.to_dict() if isinstance(request, AdvisingRequest) else request
+
+    def submit(self, request: Union[AdvisingRequest, dict]) -> str:
+        """Enqueue one request; returns its job id immediately."""
+        return self._post("/v1/advise", {"request": self._payload(request)})["job_id"]
+
+    def submit_many(self, requests: Sequence[Union[AdvisingRequest, dict]]) -> List[str]:
+        """Enqueue a batch atomically; returns job ids in submission order."""
+        reply = self._post(
+            "/v1/batch",
+            {"requests": [self._payload(request) for request in requests]},
+        )
+        return list(reply["job_ids"])
+
+    def job(self, job_id: str) -> JobView:
+        """One snapshot of a job's state (404 -> ``UnknownJobError``)."""
+        raw = self._get(f"/v1/jobs/{job_id}")
+        result = raw.get("result")
+        return JobView(
+            job_id=raw["job_id"],
+            state=raw["state"],
+            index=raw.get("index", 0),
+            label=raw.get("label", ""),
+            result=AdvisingResult.from_dict(result) if result is not None else None,
+            error=raw.get("error"),
+            raw=raw,
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> JobView:
+        """Poll a job until it is terminal (or ``ServiceTimeoutError``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view.terminal:
+                return view
+            if time.monotonic() >= deadline:
+                raise ServiceTimeoutError(
+                    f"job {job_id} still {view.state!r} after {timeout:.1f}s"
+                )
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Session-shaped conveniences
+    # ------------------------------------------------------------------
+    def advise(
+        self,
+        request: Union[AdvisingRequest, dict],
+        timeout: float = 600.0,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> AdvisingResult:
+        """Submit one request and wait for its typed result.
+
+        Like :meth:`AdvisingSession.advise
+        <repro.api.session.AdvisingSession.advise>`, advising failures are
+        *captured*: the returned result carries ``error`` instead of this
+        call raising.  Only service-level failures (unreachable daemon,
+        queue full, timeout) raise.
+        """
+        view = self.wait(self.submit(request), timeout, poll_interval)
+        if view.result is None:
+            raise ServiceError(
+                f"job {view.job_id} ended {view.state!r} without a result: "
+                f"{view.error or 'unknown error'}"
+            )
+        return view.result
+
+    def advise_many(
+        self,
+        requests: Sequence[Union[AdvisingRequest, dict]],
+        timeout: float = 600.0,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> List[AdvisingResult]:
+        """Submit a batch atomically; results come back in submission order."""
+        job_ids = self.submit_many(requests)
+        results = []
+        deadline = time.monotonic() + timeout
+        for job_id in job_ids:
+            remaining = max(deadline - time.monotonic(), 0.001)
+            view = self.wait(job_id, remaining, poll_interval)
+            if view.result is None:
+                raise ServiceError(
+                    f"job {view.job_id} ended {view.state!r} without a "
+                    f"result: {view.error or 'unknown error'}"
+                )
+            results.append(view.result)
+        return results

@@ -1,0 +1,486 @@
+"""The persistent concurrent advising daemon.
+
+:class:`AdvisingDaemon` is the long-lived heart of ``repro.service``: it
+owns one advising configuration (:class:`ServiceConfig`), a bounded
+:class:`~repro.service.queue.JobQueue`, a TTL-evicting
+:class:`~repro.service.jobs.JobStore` and a worker pool, and multiplexes
+any number of clients over them.  Where every one-shot ``gpa-advise``
+invocation pays full process startup and tears its pool down again, the
+daemon pays once and keeps the worker processes, the warm profile cache and
+the benchmark registry alive across requests.
+
+Execution mirrors :meth:`AdvisingSession.stream
+<repro.api.session.AdvisingSession.stream>` exactly: requests cross into
+worker processes as their ``to_dict`` wire form, results cross back the
+same way, and a worker-side :class:`~repro.api.session.AdvisingSession`
+(rebuilt from primitives, cached per process) runs each one inline.
+Because that is the same engine, the same serialization and the same
+deterministic simulator, a daemon result's report is **bit-identical** to
+an inline ``AdvisingSession.advise`` report for the same request.
+
+Failure handling mirrors the batch advisor: advising failures are captured
+into the result (the job ends ``failed`` with the traceback), and a worker
+*process* crash synthesizes a failed result instead of poisoning the
+daemon — the broken pool is replaced and later jobs keep running.
+
+Shutdown is graceful and idempotent: :meth:`AdvisingDaemon.shutdown` stops
+admissions (503), drains every already-admitted job through the workers,
+waits for the pool to finish its writes (which is what persists the
+on-disk profile cache), and reports a summary.  A second shutdown — a
+SIGTERM racing a SIGINT, say — returns the same summary without touching
+anything.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.request import AdvisingRequest
+from repro.api.result import AdvisingResult
+from repro.api.schema import API_SCHEMA_VERSION, ApiError
+from repro.api.session import AdvisingSession
+from repro.arch.machine import ArchitectureError, get_architecture
+from repro.sampling.memory import check_memory_model
+from repro.sampling.profiler import check_simulation_scope
+from repro.service.errors import (
+    ServiceError,
+    ServiceUnavailableError,
+    ServiceValidationError,
+)
+from repro.service.jobs import Job, JobStore
+from repro.service.queue import JobQueue
+
+#: Daemon lifecycle states (reported by ``/v1/healthz`` and ``/v1/stats``).
+DAEMON_STATES = ("new", "serving", "draining", "stopped")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The advising configuration a daemon serves — primitives only.
+
+    Primitives are the whole point: the same dict crosses into every worker
+    process (exactly like :meth:`AdvisingSession._pool_config
+    <repro.api.session.AdvisingSession._pool_config>` payloads do), so the
+    daemon can never be configured with something its workers cannot
+    rebuild.
+    """
+
+    arch_flag: str = "sm_70"
+    sample_period: int = 8
+    simulation_scope: str = "single_wave"
+    memory_model: str = "flat"
+    cache_dir: Optional[str] = None
+    optimizer_names: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        try:
+            get_architecture(self.arch_flag)
+        except ArchitectureError as exc:
+            raise ServiceValidationError(str(exc)) from exc
+        if self.sample_period <= 0:
+            raise ServiceValidationError(
+                f"sample_period must be positive, got {self.sample_period}"
+            )
+        try:
+            check_simulation_scope(self.simulation_scope)
+            check_memory_model(self.memory_model)
+        except ValueError as exc:
+            raise ServiceValidationError(str(exc)) from exc
+
+    def primitives(self) -> dict:
+        """The worker-process payload (also ``/v1/healthz``'s config echo)."""
+        return {
+            "arch_flag": self.arch_flag,
+            "sample_period": self.sample_period,
+            "simulation_scope": self.simulation_scope,
+            "memory_model": self.memory_model,
+            "cache_dir": self.cache_dir,
+            "optimizer_names": (
+                list(self.optimizer_names)
+                if self.optimizer_names is not None else None
+            ),
+        }
+
+    def build_session(self) -> AdvisingSession:
+        """An inline session speaking exactly this configuration."""
+        return AdvisingSession(
+            architecture=self.arch_flag,
+            optimizers=self.optimizer_names,
+            sample_period=self.sample_period,
+            cache=self.cache_dir,
+            jobs=1,
+            simulation_scope=self.simulation_scope,
+            memory_model=self.memory_model,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+#: Per-process session cache: a daemon worker serves thousands of jobs, and
+#: rebuilding the session (architecture model, optimizer set, cache handle)
+#: per job would throw the daemon's whole warm-state advantage away.
+_WORKER_SESSIONS: Dict[str, AdvisingSession] = {}
+
+
+def _worker_session(config: dict) -> AdvisingSession:
+    key = repr(sorted(config.items(), key=lambda item: item[0]))
+    session = _WORKER_SESSIONS.get(key)
+    if session is None:
+        session = AdvisingSession(
+            architecture=config["arch_flag"],
+            optimizers=(
+                tuple(config["optimizer_names"])
+                if config["optimizer_names"] else None
+            ),
+            sample_period=config["sample_period"],
+            cache=config["cache_dir"],
+            jobs=1,
+            simulation_scope=config["simulation_scope"],
+            memory_model=config["memory_model"],
+        )
+        _WORKER_SESSIONS[key] = session
+    return session
+
+
+def _advise_with_session(session: AdvisingSession, payload: dict, index: int) -> dict:
+    """Run one wire-form request on a session; report cache traffic deltas."""
+    cache = session.cache
+    hits_before, misses_before = (
+        (cache.hits, cache.misses) if cache is not None else (0, 0)
+    )
+    result = session.advise(AdvisingRequest.from_dict(payload), index=index)
+    hits, misses = (
+        (cache.hits - hits_before, cache.misses - misses_before)
+        if cache is not None else (0, 0)
+    )
+    return {
+        "result": result.to_dict(),
+        "cache_hits": hits,
+        "cache_misses": misses,
+    }
+
+
+def _service_advise(config: dict, payload: dict, index: int) -> dict:
+    """Pool entry point: cached worker session + one advising job."""
+    return _advise_with_session(_worker_session(config), payload, index)
+
+
+def _warm_worker(config: dict) -> bool:
+    """Pre-fork pool processes and pre-build their sessions at startup."""
+    _worker_session(config)
+    return True
+
+
+# ----------------------------------------------------------------------
+# The daemon proper
+# ----------------------------------------------------------------------
+class AdvisingDaemon:
+    """A persistent, concurrent, queue-fed advising engine."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        workers: int = 2,
+        queue_capacity: int = 64,
+        job_ttl: Optional[float] = 900.0,
+        use_pool: bool = True,
+        clock=time.monotonic,
+    ):
+        if workers < 1:
+            raise ServiceValidationError(f"workers must be >= 1, got {workers}")
+        self.config = config if config is not None else ServiceConfig()
+        self.workers = workers
+        self.use_pool = use_pool
+        self.queue = JobQueue(queue_capacity)
+        self.store = JobStore(ttl=job_ttl, clock=clock)
+        self._clock = clock
+        self._state = "new"
+        self._state_lock = threading.RLock()
+        self._threads: List[threading.Thread] = []
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._session: Optional[AdvisingSession] = None
+        self._session_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._in_flight = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._started_at: Optional[float] = None
+        self._shutdown_summary: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._state_lock:
+            return self._state
+
+    def start(self) -> "AdvisingDaemon":
+        """Spin up the worker pool and the worker threads (once)."""
+        with self._state_lock:
+            if self._state != "new":
+                raise ServiceError(f"daemon already started (state {self._state!r})")
+            self._state = "serving"
+        self._started_at = self._clock()
+        if self.use_pool:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            # Fork every worker process *now*, from a quiet main thread —
+            # before HTTP handler threads exist — and pre-build their
+            # sessions so the first real job pays no cold start.
+            warmups = [
+                self._executor.submit(_warm_worker, self.config.primitives())
+                for _ in range(self.workers)
+            ]
+            for future in warmups:
+                future.result()
+        else:
+            self._session = self.config.build_session()
+        for number in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"gpa-service-worker-{number}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> dict:
+        """Stop admissions, settle every admitted job, stop the workers.
+
+        ``drain=True`` (the default, and what SIGTERM triggers) lets the
+        workers finish everything already queued; ``drain=False`` aborts
+        queued jobs (they end ``failed``) and only waits for the in-flight
+        ones.  Waiting for the pool also flushes its profile-cache writes,
+        so the on-disk cache is fully persisted when this returns.
+        Idempotent: repeated calls return the first call's summary.
+        """
+        with self._state_lock:
+            if self._state == "stopped":
+                return dict(self._shutdown_summary or self._summary())
+            if self._state == "new":
+                self._state = "stopped"
+                self._shutdown_summary = self._summary()
+                return dict(self._shutdown_summary)
+            if self._state == "draining":
+                concurrent = True
+            else:
+                concurrent = False
+                self._state = "draining"
+            threads = list(self._threads)
+        if concurrent:
+            # A concurrent shutdown is already in progress; wait for it
+            # (outside the state lock: workers may need it to settle).
+            for thread in threads:
+                thread.join(timeout)
+            with self._state_lock:
+                return dict(self._shutdown_summary or self._summary())
+
+        if not drain:
+            for job_id in self.queue.clear():
+                self.store.abort(
+                    job_id, "daemon shut down before the job ran"
+                )
+        # Sentinels queue *behind* the remaining work: FIFO order is the
+        # drain guarantee.
+        self.queue.close(len(threads))
+        for thread in threads:
+            thread.join(timeout)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        with self._state_lock:
+            self._state = "stopped"
+            self._shutdown_summary = self._summary()
+            return dict(self._shutdown_summary)
+
+    def _summary(self) -> dict:
+        counts = self.store.counts
+        return {
+            "state": "stopped",
+            "jobs_submitted": counts.submitted,
+            "jobs_served": counts.served,
+            "jobs_failed": counts.failed,
+            "jobs_aborted": counts.aborted,
+        }
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict) -> str:
+        """Validate and enqueue one ``advising_request`` envelope."""
+        return self.submit_batch([payload])[0]
+
+    def submit_batch(self, payloads: List[dict]) -> List[str]:
+        """Validate and enqueue a batch atomically (all admitted or none)."""
+        if not isinstance(payloads, list) or not payloads:
+            raise ServiceValidationError(
+                "a batch must be a non-empty list of advising_request payloads"
+            )
+        requests = []
+        for position, payload in enumerate(payloads):
+            try:
+                requests.append(AdvisingRequest.from_dict(payload))
+            except (ApiError, TypeError, ValueError) as exc:
+                raise ServiceValidationError(
+                    f"request {position}: {exc}"
+                ) from exc
+        with self._state_lock:
+            if self._state != "serving":
+                raise ServiceUnavailableError(
+                    f"daemon is {self._state}; not accepting new jobs"
+                )
+            # Admission happens under the state lock so a draining daemon
+            # can never pick up a job admitted after its sentinels.
+            jobs = [
+                self.store.create(request.to_dict(), request.describe(), index)
+                for index, request in enumerate(requests)
+            ]
+            try:
+                self.queue.put_many([job.job_id for job in jobs])
+            except ServiceError:
+                for job in jobs:
+                    self.store.discard(job.job_id)
+                raise
+        return [job.job_id for job in jobs]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def job_view(self, job_id: str) -> dict:
+        return self.store.view(job_id)
+
+    def healthz(self) -> dict:
+        return {
+            "kind": "healthz",
+            "schema_version": API_SCHEMA_VERSION,
+            "status": "ok" if self.state == "serving" else self.state,
+            "state": self.state,
+            "config": self.config.primitives(),
+        }
+
+    def stats(self) -> dict:
+        counts = self.store.counts
+        with self._stats_lock:
+            hits, misses = self._cache_hits, self._cache_misses
+            in_flight = self._in_flight
+        lookups = hits + misses
+        return {
+            "kind": "service_stats",
+            "schema_version": API_SCHEMA_VERSION,
+            "state": self.state,
+            "workers": self.workers,
+            "queue_depth": self.queue.depth,
+            "queue_capacity": self.queue.capacity,
+            "in_flight": in_flight,
+            "jobs_submitted": counts.submitted,
+            "jobs_served": counts.served,
+            "jobs_done": counts.done,
+            "jobs_failed": counts.failed,
+            "jobs_aborted": counts.aborted,
+            "jobs_evicted": counts.evicted,
+            "jobs_stored": len(self.store),
+            "cache": None if self.config.cache_dir is None else {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / lookups, 6) if lookups else 0.0,
+            },
+            "uptime_seconds": (
+                round(self._clock() - self._started_at, 3)
+                if self._started_at is not None else 0.0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self.queue.get()
+            if job_id is None:  # shutdown sentinel
+                return
+            try:
+                job = self.store.mark_running(job_id)
+            except ServiceError:  # evicted/raced away; nothing to run
+                continue
+            with self._stats_lock:
+                self._in_flight += 1
+            try:
+                self._settle(job)
+            finally:
+                with self._stats_lock:
+                    self._in_flight -= 1
+
+    def _settle(self, job: Job) -> None:
+        """Execute one job and move it to a terminal state, never raising."""
+        executor = self._executor
+        try:
+            outcome = self._execute(job.payload, job.index)
+        except BaseException as exc:
+            error = traceback.format_exc()
+            self.store.finish(job.job_id, self._failed_result(job, error), error)
+            if isinstance(exc, BrokenProcessPool):
+                self._replace_pool(executor)
+            return
+        result = outcome["result"]
+        with self._stats_lock:
+            self._cache_hits += outcome["cache_hits"]
+            self._cache_misses += outcome["cache_misses"]
+        self.store.finish(job.job_id, result, result.get("error"))
+
+    def _execute(self, payload: dict, index: int) -> dict:
+        """One job through the pool (or inline when ``use_pool=False``)."""
+        executor = self._executor
+        if executor is not None:
+            future = executor.submit(
+                _service_advise, self.config.primitives(), payload, index
+            )
+            return future.result()
+        # Inline mode: the session's stage caches are not guaranteed
+        # thread-safe, so inline execution is serialized.
+        with self._session_lock:
+            return _advise_with_session(self._session, payload, index)
+
+    def _failed_result(self, job: Job, error: str) -> Optional[dict]:
+        """A synthesized failed result, like the session's pool path makes.
+
+        Mirrors :meth:`AdvisingSession._stream_pool
+        <repro.api.session.AdvisingSession._stream_pool>`: a worker-process
+        death still yields a well-formed ``advising_result`` whose ``error``
+        carries the captured traceback.
+        """
+        try:
+            request = AdvisingRequest.from_dict(job.payload)
+            return AdvisingResult(
+                request=request,
+                index=job.index,
+                label=job.label,
+                arch_flag=request.arch_flag or self.config.arch_flag,
+                sample_period=request.sample_period or self.config.sample_period,
+                simulation_scope=(
+                    request.simulation_scope or self.config.simulation_scope
+                ),
+                memory_model=request.memory_model or self.config.memory_model,
+                error=error,
+            ).to_dict()
+        except Exception:  # pragma: no cover - payload was validated at submit
+            return None
+
+    def _replace_pool(self, broken) -> None:
+        """Swap the observed-broken executor for a fresh one (daemon keeps
+        serving).  A concurrent replacement wins: when every in-flight
+        future of one dead pool fails at once, only the first worker thread
+        to get here replaces it — the rest see a different (healthy)
+        ``self._executor`` and leave it alone."""
+        with self._state_lock:
+            if self._state != "serving" or self._executor is not broken:
+                return
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        if broken is not None:
+            broken.shutdown(wait=False)

@@ -1,0 +1,77 @@
+"""The error vocabulary of the advising service.
+
+Every failure the daemon can signal — and every failure the client can
+relay — is a :class:`ServiceError`, itself an
+:class:`~repro.api.schema.ApiError` so callers that already handle the
+service-layer API family catch service failures for free.  Each error class
+maps to exactly one HTTP status code (:data:`HTTP_STATUS`), and the client
+reverses the mapping (:func:`error_for_status`), so a
+:class:`QueueFullError` raised inside the daemon resurfaces as a
+:class:`QueueFullError` in the submitting process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.api.schema import ApiError
+
+
+class ServiceError(ApiError):
+    """Base class of every advising-service failure."""
+
+
+class ServiceValidationError(ServiceError, ValueError):
+    """A submitted payload is malformed (bad JSON, bad envelope, bad shape)."""
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """No job with the requested id exists (never did, or TTL-evicted)."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message.
+        return self.args[0] if self.args else "unknown job"
+
+
+class QueueFullError(ServiceError):
+    """The bounded job queue is at capacity — backpressure, try again later."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The daemon is draining or stopped and accepts no new work."""
+
+
+class ServiceConnectionError(ServiceError, ConnectionError):
+    """The client could not reach the daemon at all."""
+
+
+class ServiceTimeoutError(ServiceError, TimeoutError):
+    """The client gave up waiting for a job to reach a terminal state."""
+
+
+#: Error class -> HTTP status code the daemon answers with.
+HTTP_STATUS = {
+    ServiceValidationError: 400,
+    UnknownJobError: 404,
+    QueueFullError: 429,
+    ServiceUnavailableError: 503,
+}
+
+
+def status_for_error(exc: BaseException) -> int:
+    """The HTTP status code for a daemon-side failure (500 when unmapped)."""
+    for klass, status in HTTP_STATUS.items():
+        if isinstance(exc, klass):
+            return status
+    return 500
+
+
+def error_for_status(status: int, message: str) -> ServiceError:
+    """The client-side twin of a daemon error response."""
+    klass: Optional[Type[ServiceError]] = None
+    for candidate, candidate_status in HTTP_STATUS.items():
+        if candidate_status == status:
+            klass = candidate
+            break
+    if klass is None:
+        return ServiceError(f"service answered HTTP {status}: {message}")
+    return klass(message)

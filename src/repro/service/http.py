@@ -1,0 +1,182 @@
+"""JSON-over-HTTP front end of the advising daemon.
+
+A deliberately small, stdlib-only protocol (versioned under ``/v1/``, the
+payloads versioned under :data:`~repro.api.schema.API_SCHEMA_VERSION`):
+
+========  ==================  ==============================================
+method    path                meaning
+========  ==================  ==============================================
+POST      ``/v1/advise``      ``{"request": <advising_request>}`` -> 202
+                              ``{"job_id": ..., "state": "queued"}``
+POST      ``/v1/batch``       ``{"requests": [<advising_request>, ...]}``
+                              -> 202 ``{"job_ids": [...]}`` (atomic)
+GET       ``/v1/jobs/<id>``   job state + the ``advising_result`` envelope
+GET       ``/v1/healthz``     liveness + daemon state + config echo
+GET       ``/v1/stats``       queue depth, cache hit rate, jobs served
+========  ==================  ==============================================
+
+Envelopes are validated strictly — a request whose ``schema_version`` or
+``kind`` does not match this build is a 400, never a silent misparse — and
+error responses carry a one-line message, **never a traceback**.  Admission
+failures map one-to-one onto status codes: 400 malformed, 404 unknown job,
+429 queue full (backpressure), 503 draining.
+
+The server is a :class:`ThreadingHTTPServer`: each connection gets a
+handler thread, every handler funnels into the same
+:class:`~repro.service.daemon.AdvisingDaemon`, whose queue and store are
+thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.service.daemon import AdvisingDaemon
+from repro.service.errors import (
+    ServiceValidationError,
+    UnknownJobError,
+    status_for_error,
+)
+
+#: Largest request body the daemon will read, as a guard against a client
+#: (or a stray process) streaming unbounded data at the service.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """The daemon's listening socket; holds the shared ``AdvisingDaemon``."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], advising_daemon: AdvisingDaemon,
+                 quiet: bool = True):
+        self.advising_daemon = advising_daemon
+        self.quiet = quiet
+        super().__init__(address, ServiceRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "gpa-advise-service"
+    # Keep-alive: a waiting client polls its job every few tens of
+    # milliseconds, and every reply carries Content-Length, so HTTP/1.1
+    # persistent connections are safe and save a TCP handshake per poll.
+    # Error replies close the connection (see `_reply`) because some error
+    # paths answer before draining the request body.
+    protocol_version = "HTTP/1.1"
+    # An idle persistent connection may not hold a handler thread forever.
+    timeout = 60.0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server's casing)
+        daemon = self.server.advising_daemon
+        try:
+            if self.path == "/v1/healthz":
+                self._reply(200, daemon.healthz())
+            elif self.path == "/v1/stats":
+                self._reply(200, daemon.stats())
+            elif self.path.startswith("/v1/jobs/"):
+                job_id = self.path[len("/v1/jobs/"):]
+                if not job_id or "/" in job_id:
+                    raise UnknownJobError(f"unknown job id {job_id!r}")
+                self._reply(200, daemon.job_view(job_id))
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+        except Exception as exc:
+            self._reply_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802
+        daemon = self.server.advising_daemon
+        try:
+            body = self._read_json()
+            if self.path == "/v1/advise":
+                payload = self._require(body, "request")
+                job_id = daemon.submit(payload)
+                self._reply(202, {"job_id": job_id, "state": "queued"})
+            elif self.path == "/v1/batch":
+                payloads = self._require(body, "requests")
+                job_ids = daemon.submit_batch(payloads)
+                self._reply(
+                    202,
+                    {"job_ids": job_ids, "count": len(job_ids), "state": "queued"},
+                )
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+        except Exception as exc:
+            self._reply_error(exc)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._reply(405, {"error": "method not allowed"})
+
+    do_DELETE = do_PUT
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceValidationError("request body is required")
+        if length > MAX_BODY_BYTES:
+            raise ServiceValidationError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise ServiceValidationError(
+                f"request body is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(body, dict):
+            raise ServiceValidationError(
+                f"request body must be a JSON object, got "
+                f"{type(body).__name__}"
+            )
+        return body
+
+    @staticmethod
+    def _require(body: dict, key: str):
+        try:
+            return body[key]
+        except KeyError:
+            raise ServiceValidationError(
+                f"request body is missing the {key!r} field"
+            ) from None
+
+    def _reply(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if status >= 400:
+            # An errored request may not have had its body read (405s,
+            # missing Content-Length); reusing the connection would desync
+            # the stream, so close it.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _reply_error(self, exc: Exception) -> None:
+        # One line, no traceback: internals never leak into the protocol.
+        status = status_for_error(exc)
+        message = str(exc) if status != 500 else f"internal error: {exc}"
+        try:
+            self._reply(status, {"error": message, "status": status})
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # the client hung up first; nothing left to tell it
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):  # pragma: no cover
+            super().log_message(format, *args)

@@ -5,6 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro.advisor.advisor import GPA
+
+
+def pytest_configure(config):
+    # `xdist_group` pins a module's tests to one pytest-xdist worker under
+    # `--dist loadgroup` (CI's parallel matrix), so modules with expensive
+    # shared simulation fixtures are not re-simulated on every worker.
+    # Registering it here keeps serial runs (no xdist installed) warning-free.
+    config.addinivalue_line(
+        "markers",
+        "xdist_group(name): run all tests of this group on one xdist worker",
+    )
 from repro.arch.machine import VoltaV100
 from repro.blame.attribution import InstructionBlamer
 from repro.cubin.builder import CubinBuilder, imm, p

@@ -13,6 +13,10 @@ from repro.api.request import request_for_case
 from repro.api.session import AdvisingSession
 from repro.workloads.registry import case_names
 
+# Full-registry sweeps under both memory models: keep this module's tests
+# on one xdist worker so the simulations run once.
+pytestmark = pytest.mark.xdist_group("memory_acceptance")
+
 #: Pre-hierarchy kernel_cycles of every registry baseline (seed behaviour).
 SEED_KERNEL_CYCLES = {
     "rodinia/backprop:warp_balance": 39645.86666666667,

@@ -1,0 +1,149 @@
+"""Unit tests of the job store: state machine, views, TTL eviction."""
+
+import pytest
+
+from repro.api.schema import API_SCHEMA_VERSION
+from repro.service.errors import UnknownJobError
+from repro.service.jobs import JOB_STATES, JobStore, TERMINAL_STATES
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+PAYLOAD = {"kind": "advising_request", "schema_version": API_SCHEMA_VERSION}
+
+
+class TestStateMachine:
+    def test_lifecycle(self):
+        store = JobStore()
+        job = store.create(PAYLOAD, "case-a")
+        assert job.state == "queued" and not job.terminal
+        assert job.state in JOB_STATES
+
+        store.mark_running(job.job_id)
+        assert store.get(job.job_id).state == "running"
+
+        store.finish(job.job_id, {"ok": True}, None)
+        finished = store.get(job.job_id)
+        assert finished.state == "done" and finished.terminal
+        assert finished.state in TERMINAL_STATES
+        assert store.counts.done == 1 and store.counts.failed == 0
+
+    def test_error_marks_failed(self):
+        store = JobStore()
+        job = store.create(PAYLOAD, "case-b")
+        store.mark_running(job.job_id)
+        store.finish(job.job_id, {"error": "boom"}, "boom\n  traceback")
+        failed = store.get(job.job_id)
+        assert failed.state == "failed"
+        assert failed.error == "boom\n  traceback"
+        assert store.counts.failed == 1
+        assert store.counts.served == 1
+
+    def test_finish_straight_from_queue(self):
+        # An aborted (never-run) job still gets coherent timestamps.
+        store = JobStore()
+        job = store.create(PAYLOAD, "case-c")
+        store.finish(job.job_id, None, "aborted")
+        view = store.view(job.job_id)
+        assert view["state"] == "failed"
+        assert view["waited_seconds"] is not None
+
+    def test_unknown_job(self):
+        store = JobStore()
+        with pytest.raises(UnknownJobError) as excinfo:
+            store.get("nope")
+        assert "nope" in str(excinfo.value)
+        with pytest.raises(UnknownJobError):
+            store.view("nope")
+        with pytest.raises(UnknownJobError):
+            store.mark_running("nope")
+
+    def test_discard_forgets_submission(self):
+        store = JobStore()
+        job = store.create(PAYLOAD, "case-d")
+        assert store.counts.submitted == 1
+        store.discard(job.job_id)
+        assert store.counts.submitted == 0
+        assert job.job_id not in store
+
+    def test_view_shape(self):
+        store = JobStore()
+        job = store.create(PAYLOAD, "case-e", index=3)
+        view = store.view(job.job_id)
+        assert view["kind"] == "job"
+        assert view["schema_version"] == API_SCHEMA_VERSION
+        assert view["job_id"] == job.job_id
+        assert view["state"] == "queued"
+        assert view["index"] == 3
+        assert view["label"] == "case-e"
+        assert view["result"] is None and view["error"] is None
+
+    def test_job_ids_are_unique(self):
+        store = JobStore()
+        ids = {store.create(PAYLOAD, "x").job_id for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestTtlEviction:
+    def test_terminal_jobs_evict_after_ttl(self):
+        clock = FakeClock()
+        store = JobStore(ttl=60.0, clock=clock)
+        job = store.create(PAYLOAD, "old")
+        store.finish(job.job_id, {"ok": True}, None)
+        clock.advance(61.0)
+        assert store.evict() == 1
+        assert store.counts.evicted == 1
+        with pytest.raises(UnknownJobError):
+            store.get(job.job_id)
+
+    def test_live_jobs_never_evict(self):
+        clock = FakeClock()
+        store = JobStore(ttl=60.0, clock=clock)
+        queued = store.create(PAYLOAD, "queued")
+        running = store.create(PAYLOAD, "running")
+        store.mark_running(running.job_id)
+        clock.advance(3600.0)
+        assert store.evict() == 0
+        assert store.get(queued.job_id).state == "queued"
+        assert store.get(running.job_id).state == "running"
+
+    def test_eviction_piggybacks_on_access(self):
+        clock = FakeClock()
+        store = JobStore(ttl=60.0, clock=clock)
+        old = store.create(PAYLOAD, "old")
+        store.finish(old.job_id, None, None)
+        clock.advance(61.0)
+        fresh = store.create(PAYLOAD, "fresh")  # triggers eviction
+        assert old.job_id not in store
+        assert fresh.job_id in store
+
+    def test_ttl_none_disables_eviction(self):
+        clock = FakeClock()
+        store = JobStore(ttl=None, clock=clock)
+        job = store.create(PAYLOAD, "kept")
+        store.finish(job.job_id, None, None)
+        clock.advance(10**9)
+        assert store.evict() == 0
+        assert store.get(job.job_id).state == "done"
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            JobStore(ttl=0)
+        with pytest.raises(ValueError):
+            JobStore(ttl=-5.0)
+
+    def test_pending_lists_only_live_jobs(self):
+        store = JobStore()
+        live = store.create(PAYLOAD, "live")
+        settled = store.create(PAYLOAD, "settled")
+        store.finish(settled.job_id, None, None)
+        assert store.pending() == [live.job_id]

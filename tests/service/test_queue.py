@@ -1,0 +1,100 @@
+"""Unit tests of the bounded FIFO job queue."""
+
+import threading
+
+import pytest
+
+from repro.service.errors import QueueFullError, ServiceValidationError
+from repro.service.queue import JobQueue
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        queue = JobQueue(4)
+        for item in ("a", "b", "c"):
+            queue.put(item)
+        assert [queue.get(), queue.get(), queue.get()] == ["a", "b", "c"]
+
+    def test_rejects_when_full(self):
+        queue = JobQueue(2)
+        queue.put("a")
+        queue.put("b")
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.put("c")
+        assert "2/2" in str(excinfo.value)
+        # The rejected item was not partially admitted.
+        assert queue.depth == 2
+
+    def test_batch_admission_is_atomic(self):
+        queue = JobQueue(3)
+        queue.put("a")
+        with pytest.raises(QueueFullError):
+            queue.put_many(["b", "c", "d"])  # 1 + 3 > 3
+        assert queue.depth == 1  # nothing of the batch was admitted
+        queue.put_many(["b", "c"])
+        assert queue.depth == 3
+        assert queue.admitted == 3
+
+    def test_oversized_batch_is_a_client_error_not_backpressure(self):
+        # Retrying a batch larger than the whole queue can never succeed:
+        # that is a 400-style validation error, not a 429.
+        queue = JobQueue(2)
+        with pytest.raises(ServiceValidationError) as excinfo:
+            queue.put_many(["a", "b", "c"])
+        assert "exceeds the queue capacity" in str(excinfo.value)
+        assert queue.depth == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            JobQueue(0)
+
+
+class TestConsumption:
+    def test_get_timeout(self):
+        queue = JobQueue(1)
+        with pytest.raises(TimeoutError):
+            queue.get(timeout=0.01)
+
+    def test_get_blocks_until_put(self):
+        queue = JobQueue(1)
+        received = []
+
+        def consume():
+            received.append(queue.get(timeout=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        queue.put("x")
+        thread.join(5.0)
+        assert received == ["x"]
+
+
+class TestShutdown:
+    def test_sentinels_queue_behind_real_work(self):
+        queue = JobQueue(4)
+        queue.put_many(["a", "b"])
+        queue.close(workers=2)
+        # FIFO: both jobs drain before any worker sees its sentinel.
+        assert [queue.get() for _ in range(4)] == ["a", "b", None, None]
+
+    def test_sentinels_bypass_capacity(self):
+        queue = JobQueue(1)
+        queue.put("a")
+        queue.close(workers=3)  # must not raise despite the full queue
+        assert queue.get() == "a"
+        assert queue.get() is None
+
+    def test_sentinels_excluded_from_depth(self):
+        queue = JobQueue(2)
+        queue.put("a")
+        queue.close(workers=2)
+        assert queue.depth == 1
+        assert len(queue) == 1
+
+    def test_clear_keeps_sentinels(self):
+        queue = JobQueue(4)
+        queue.put_many(["a", "b"])
+        queue.close(workers=1)
+        assert queue.clear() == ["a", "b"]
+        assert queue.depth == 0
+        assert queue.get() is None  # the sentinel survived the clear

@@ -26,6 +26,10 @@ from repro.api.session import AdvisingSession
 from repro.sampling.gpu import GpuSimulationResult
 from repro.sampling.sample import KernelProfile
 
+# The module-scoped whole-GPU simulations are the suite's most expensive
+# fixtures; keep every test of this module on one xdist worker.
+pytestmark = pytest.mark.xdist_group("whole_gpu_acceptance")
+
 CASE = "rodinia/heartwall:loop_unrolling"
 
 
