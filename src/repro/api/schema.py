@@ -33,7 +33,11 @@ from typing import Any
 #:    them plus the hierarchy's coalescing/hit-rate statistics; workload
 #:    specs carry access-pattern fields (``working_set_bytes``,
 #:    ``access_strides``, ``default_access_stride_bytes``).
-API_SCHEMA_VERSION = 3
+#: 4. Requests carry ``simulator_backend`` (the object vs. vector simulator
+#:    core selection).  Results deliberately do not: the two cores are
+#:    bit-identical by contract, so the core that ran is an execution
+#:    detail, not part of the answer.
+API_SCHEMA_VERSION = 4
 
 
 class ApiError(Exception):

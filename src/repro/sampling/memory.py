@@ -239,22 +239,34 @@ class MemoryHierarchy:
         return None
 
     # ------------------------------------------------------------------
+    def fallback_sectors(self, transactions: int) -> List[int]:
+        """Sectors of an access without address information.
+
+        Hand-built traces carry no base address; their accesses fall back to
+        ``transactions`` consecutive sectors at a rolling cursor, so the
+        transaction *count* still matches the flat model.  The cursor is
+        hierarchy state: callers must consume fallback sectors in issue
+        order (both cores do — sectors are resolved when the op issues).
+        """
+        sector = self.parameters.sector_bytes
+        count = max(1, transactions or 1)
+        base = self._fallback_cursor
+        self._fallback_cursor += count * sector
+        return [base + i * sector for i in range(count)]
+
+    # ------------------------------------------------------------------
     def sector_addresses(self, op) -> List[int]:
         """The unique 32-byte sectors touched by one warp-level access.
 
         Coalescing proper: thread ``t`` accesses ``address + t * stride``
         for :data:`ACCESS_BYTES` bytes; the footprint collapses into unique
-        sectors.  Trace ops without address information (hand-built traces)
-        fall back to ``op.transactions`` consecutive sectors at a rolling
-        cursor, so the transaction *count* still matches the flat model.
+        sectors (first-seen order, which for positive strides equals sorted
+        order — the vector core's pack-time precompute relies on this).
         """
         sector = self.parameters.sector_bytes
         stride = getattr(op, "stride_bytes", 0)
         if stride <= 0:
-            count = max(1, getattr(op, "transactions", 1) or 1)
-            base = self._fallback_cursor
-            self._fallback_cursor += count * sector
-            return [base + i * sector for i in range(count)]
+            return self.fallback_sectors(getattr(op, "transactions", 1))
         base = getattr(op, "address", 0)
         sectors = []
         seen = set()
@@ -269,14 +281,18 @@ class MemoryHierarchy:
 
     # ------------------------------------------------------------------
     def access(self, op, now: int) -> int:
-        """Service one warp-level access; returns its completion cycle.
+        """Service one warp-level access; returns its completion cycle."""
+        return self.access_sectors(self.sector_addresses(op), now)
+
+    # ------------------------------------------------------------------
+    def access_sectors(self, sectors: List[int], now: int) -> int:
+        """Service one warp-level access given its coalesced sectors.
 
         Sectors issue into the L1 pipeline at ``l1_sectors_per_cycle``; each
         is serviced by the first level that holds it; the request completes
         when its slowest sector does.
         """
         parameters = self.parameters
-        sectors = self.sector_addresses(op)
         stats = self.statistics
         stats.requests += 1
         stats.sectors += len(sectors)

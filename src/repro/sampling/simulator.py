@@ -47,26 +47,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.machine import GpuArchitecture
-from repro.isa.registers import MemorySpace
 from repro.sampling.memory import (
-    THROTTLED_SPACES,
     MemoryHierarchy,
     MemoryStatistics,
     check_memory_model,
 )
 from repro.sampling.sample import PCSample
 from repro.sampling.stall_reasons import StallReason
-from repro.sampling.trace import TraceOp
+from repro.sampling.trace import OpMeta, TraceOp, cached_latency, instruction_meta
 
 #: Default bound on the simulation loop; shared by the profiler and the
 #: pipeline cache key so a truncated simulation never replays as a full one.
 DEFAULT_MAX_CYCLES = 4_000_000
 
 _FAR_FUTURE = 1 << 60
-
-#: Memory spaces whose accesses consume outstanding-transaction slots
-#: (shared with the hierarchy model, which services the same spaces).
-_THROTTLED_SPACES = THROTTLED_SPACES
 
 
 @dataclass
@@ -94,11 +88,19 @@ class SimulationResult:
 
 
 class _WarpState:
-    """Mutable execution state of one warp."""
+    """Mutable execution state of one warp.
+
+    ``metas`` packs each op's static instruction facts
+    (:class:`~repro.sampling.trace.OpMeta`) in trace order so the hot
+    scheduler loops index plain slots instead of walking the instruction's
+    ``cached_property`` chain on every dynamic execution.  ``barrier_reason``
+    replaces the old barrier *source op* bookkeeping: the only question ever
+    asked of a barrier's source is its precomputed dependency classification.
+    """
 
     __slots__ = (
-        "warp_id", "block_id", "trace", "idx", "ready_cycle", "reg_ready",
-        "barrier_clear", "barrier_source", "sync_arrived", "sync_released",
+        "warp_id", "block_id", "trace", "metas", "idx", "ready_cycle", "reg_ready",
+        "barrier_clear", "barrier_reason", "sync_arrived", "sync_released",
         "fetch_ready", "fetch_done_idx", "blocked_until", "last_reason", "finished",
     )
 
@@ -106,11 +108,14 @@ class _WarpState:
         self.warp_id = warp_id
         self.block_id = block_id
         self.trace = trace
+        self.metas: List[OpMeta] = [instruction_meta(op.instruction) for op in trace]
         self.idx = 0
         self.ready_cycle = 0
         self.reg_ready: Dict[int, int] = {}
         self.barrier_clear = [0, 0, 0, 0, 0, 0]
-        self.barrier_source: List[Optional[TraceOp]] = [None] * 6
+        # An unset barrier classifies as a plain execution dependency,
+        # exactly like the former ``_classify_dependency(None)``.
+        self.barrier_reason = [StallReason.EXECUTION_DEPENDENCY] * 6
         self.sync_arrived = False
         self.sync_released = False
         self.fetch_ready: Optional[int] = None
@@ -121,23 +126,6 @@ class _WarpState:
 
     def current_op(self) -> TraceOp:
         return self.trace[self.idx]
-
-
-def _classify_dependency(source: Optional[TraceOp]) -> StallReason:
-    """Stall reason of a warp waiting on the barrier set by ``source``."""
-    if source is None:
-        return StallReason.EXECUTION_DEPENDENCY
-    instruction = source.instruction
-    space = instruction.memory_space
-    if space in (MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL,
-                 MemorySpace.CONSTANT):
-        if instruction.is_load:
-            return StallReason.MEMORY_DEPENDENCY
-        # Stores hold a read barrier: a later overwrite waits -> WAR hazard.
-        return StallReason.EXECUTION_DEPENDENCY
-    if space is MemorySpace.TEXTURE:
-        return StallReason.TEXTURE
-    return StallReason.EXECUTION_DEPENDENCY
 
 
 class SMSimulator:
@@ -236,46 +224,49 @@ class SMSimulator:
                 return False, StallReason.IDLE, _FAR_FUTURE
             if now < warp.ready_cycle:
                 return False, StallReason.EXECUTION_DEPENDENCY, warp.ready_cycle
-            op = warp.trace[warp.idx]
-            instruction = op.instruction
+            idx = warp.idx
+            meta = warp.metas[idx]
 
             # Instruction fetch stall charged to this op.
-            if op.fetch_stall and warp.fetch_done_idx != warp.idx:
+            fetch_stall = warp.trace[idx].fetch_stall
+            if fetch_stall and warp.fetch_done_idx != idx:
                 fetch_ready = warp.fetch_ready
                 if fetch_ready is None:
-                    fetch_ready = now + op.fetch_stall
+                    fetch_ready = now + fetch_stall
                     if commit:
                         warp.fetch_ready = fetch_ready
                 if now < fetch_ready:
                     return False, StallReason.INSTRUCTION_FETCH, fetch_ready
                 if commit:
-                    warp.fetch_done_idx = warp.idx
+                    warp.fetch_done_idx = idx
                     warp.fetch_ready = None
 
             # Barrier wait mask (variable-latency dependencies).
-            wait_mask = instruction.control.wait_mask
+            wait_mask = meta.wait_mask
             if wait_mask:
                 latest = -1
-                latest_source: Optional[TraceOp] = None
+                latest_reason = StallReason.EXECUTION_DEPENDENCY
+                barrier_clear = warp.barrier_clear
                 for bar in wait_mask:
-                    clear = warp.barrier_clear[bar]
+                    clear = barrier_clear[bar]
                     if clear > latest:
                         latest = clear
-                        latest_source = warp.barrier_source[bar]
+                        latest_reason = warp.barrier_reason[bar]
                 if now < latest:
-                    return False, _classify_dependency(latest_source), latest
+                    return False, latest_reason, latest
             # Register scoreboard (fixed-latency dependencies).
-            if warp.reg_ready:
+            reg_ready = warp.reg_ready
+            if reg_ready:
                 latest = 0
-                for reg in instruction.used_registers:
-                    ready = warp.reg_ready.get(reg.index, 0)
+                for reg_index in meta.used_regs:
+                    ready = reg_ready.get(reg_index, 0)
                     if ready > latest:
                         latest = ready
                 if now < latest:
                     return False, StallReason.EXECUTION_DEPENDENCY, latest
 
             # Block-wide synchronization.
-            if instruction.is_synchronization and instruction.opcode == "BAR":
+            if meta.is_bar:
                 if not warp.sync_released:
                     if commit and not warp.sync_arrived:
                         warp.sync_arrived = True
@@ -284,7 +275,7 @@ class SMSimulator:
                     return False, StallReason.SYNCHRONIZATION, _FAR_FUTURE
 
             # Memory throttle.
-            if instruction.is_memory and instruction.memory_space in _THROTTLED_SPACES:
+            if meta.is_throttled_memory:
                 if hierarchy is not None:
                     # Real backpressure: every L1 MSHR holds an in-flight
                     # sector miss (DRAM queueing keeps them held longer).
@@ -309,59 +300,52 @@ class SMSimulator:
         def issue(warp: _WarpState, now: int) -> None:
             nonlocal unfinished, issued_instructions, barrier_dirty
             op = warp.trace[warp.idx]
-            instruction = op.instruction
-            control = instruction.control
+            meta = warp.metas[warp.idx]
 
-            is_hierarchy_memory = (
-                hierarchy is not None
-                and instruction.is_memory
-                and instruction.memory_space in _THROTTLED_SPACES
-            )
+            is_hierarchy_memory = hierarchy is not None and meta.is_throttled_memory
             if is_hierarchy_memory:
                 # The hierarchy *measures* this access's completion from
                 # coalescing + cache hits + DRAM queueing, replacing the
                 # workload-assigned flat latency.
                 memory_completion = hierarchy.access(op, now)
 
-            if control.write_barrier is not None:
+            write_barrier = meta.write_barrier
+            if write_barrier is not None:
                 if is_hierarchy_memory:
                     clear = max(now + 1, memory_completion)
                 else:
                     clear = now + max(1, op.latency)
-                warp.barrier_clear[control.write_barrier] = clear
-                warp.barrier_source[control.write_barrier] = op
-            if control.read_barrier is not None:
+                warp.barrier_clear[write_barrier] = clear
+                warp.barrier_reason[write_barrier] = meta.barrier_reason
+            read_barrier = meta.read_barrier
+            if read_barrier is not None:
                 if is_hierarchy_memory:
                     # Stores release their read barrier once their sectors
                     # have entered the pipeline (bounded like the flat hold).
                     hold = max(1, min(memory_completion - now, 30))
                 else:
                     hold = max(1, min(op.latency, 30)) if op.latency else 20
-                warp.barrier_clear[control.read_barrier] = now + hold
-                warp.barrier_source[control.read_barrier] = op
+                warp.barrier_clear[read_barrier] = now + hold
+                warp.barrier_reason[read_barrier] = meta.barrier_reason
 
-            info = instruction.info
-            if not info.is_variable_latency:
-                latency = self.architecture.latency(instruction.opcode)
-                for reg in instruction.defined_registers:
-                    warp.reg_ready[reg.index] = now + latency
+            if not meta.is_variable_latency:
+                latency = cached_latency(self.architecture, meta.opcode)
+                reg_ready = warp.reg_ready
+                for reg_index in meta.defined_regs:
+                    reg_ready[reg_index] = now + latency
 
-            if (
-                hierarchy is None
-                and instruction.is_memory
-                and instruction.memory_space in _THROTTLED_SPACES
-            ):
+            if hierarchy is None and meta.is_throttled_memory:
                 completion = now + max(1, op.latency)
                 for _ in range(max(1, op.transactions)):
                     heapq.heappush(pending_memory, completion)
 
-            if instruction.is_synchronization and instruction.opcode == "BAR":
+            if meta.is_bar:
                 warp.sync_arrived = False
                 warp.sync_released = False
 
             issued_instructions += 1
             warp.idx += 1
-            warp.ready_cycle = now + max(1, control.stall_cycles)
+            warp.ready_cycle = now + max(1, meta.stall_cycles)
             warp.blocked_until = warp.ready_cycle
             if warp.idx >= len(warp.trace):
                 warp.finished = True
@@ -433,7 +417,7 @@ class SMSimulator:
                     _ready, reason, _recheck = check(sampled, now, commit=False)
                     if reason in (StallReason.SELECTED, StallReason.IDLE):
                         reason = StallReason.NOT_SELECTED
-                function, offset = op.function, op.offset
+                function, offset = op.function, sampled.metas[sampled.idx].offset
                 stall_counts[(function, offset)][reason] += 1
 
             if self.keep_samples:
@@ -500,7 +484,9 @@ class SMSimulator:
                 if chosen_slot >= 0:
                     warp = warps[indices[chosen_slot]]
                     op = warp.current_op()
-                    issued_key_by_scheduler[scheduler] = (op.function, op.offset)
+                    issued_key_by_scheduler[scheduler] = (
+                        op.function, warp.metas[warp.idx].offset
+                    )
                     issue(warp, cycle)
                     last_issued_slot[scheduler] = (chosen_slot + 1) % count
                     any_issued = True

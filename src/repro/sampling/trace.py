@@ -14,17 +14,18 @@ instruction cache).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.machine import GpuArchitecture
 from repro.isa.instruction import Instruction
 from repro.isa.registers import MemorySpace
 from repro.sampling.memory import THROTTLED_SPACES
+from repro.sampling.stall_reasons import StallReason
 from repro.sampling.workload import WorkloadSpec
 from repro.structure.program import FunctionStructure, ProgramStructure
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceOp:
     """One dynamically executed instruction of one warp."""
 
@@ -57,6 +58,114 @@ class TraceError(RuntimeError):
     """Raised when a trace cannot be generated (e.g. unresolved call)."""
 
 
+# ----------------------------------------------------------------------
+# Packed static instruction metadata
+# ----------------------------------------------------------------------
+class OpMeta:
+    """Packed static metadata of one :class:`~repro.isa.instruction.Instruction`.
+
+    Both simulator cores consult the same per-instruction facts on every
+    dynamic execution of an op — the control code's barrier fields, the
+    def/use register sets, whether the op is throttled memory, the stall
+    reason a dependent warp reports while waiting on it.  Deriving them
+    through the instruction's ``cached_property`` chain costs an attribute
+    dispatch per access per dynamic op; an :class:`OpMeta` resolves them
+    once per *static* instruction (memoized by object identity, since
+    instructions are immutable) into plain slots the hot loops read
+    directly.
+
+    ``wait_mask`` preserves the iteration order of the control code's
+    frozenset: the cores break latest-barrier ties by scan order, so the
+    packed order must match what iterating the frozenset produced.
+    """
+
+    __slots__ = (
+        "opcode", "offset", "wait_mask", "write_barrier", "read_barrier",
+        "stall_cycles", "is_bar", "is_memory", "is_throttled_memory",
+        "used_regs", "defined_regs", "is_variable_latency", "barrier_reason",
+    )
+
+    def __init__(self, instruction: Instruction):
+        control = instruction.control
+        info = instruction.info
+        self.opcode = instruction.opcode
+        self.offset = instruction.offset
+        self.wait_mask = tuple(control.wait_mask)
+        self.write_barrier = control.write_barrier
+        self.read_barrier = control.read_barrier
+        self.stall_cycles = control.stall_cycles
+        self.is_bar = info.is_synchronization and instruction.opcode == "BAR"
+        self.is_memory = info.is_memory
+        self.is_throttled_memory = (
+            info.is_memory and instruction.memory_space in THROTTLED_SPACES
+        )
+        self.used_regs = tuple(reg.index for reg in instruction.used_registers)
+        self.defined_regs = tuple(reg.index for reg in instruction.defined_registers)
+        self.is_variable_latency = info.is_variable_latency
+        self.barrier_reason = self._classify_barrier(instruction)
+
+    @staticmethod
+    def _classify_barrier(instruction: Instruction) -> StallReason:
+        """Stall reason of a warp waiting on a barrier this op holds."""
+        space = instruction.memory_space
+        if space in (MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL,
+                     MemorySpace.CONSTANT):
+            if instruction.is_load:
+                return StallReason.MEMORY_DEPENDENCY
+            # Stores hold a read barrier: a later overwrite waits -> WAR hazard.
+            return StallReason.EXECUTION_DEPENDENCY
+        if space is MemorySpace.TEXTURE:
+            return StallReason.TEXTURE
+        return StallReason.EXECUTION_DEPENDENCY
+
+
+#: id(instruction) -> (instruction, OpMeta).  The instruction is pinned in
+#: the entry so a hit can verify identity (a recycled ``id`` after garbage
+#: collection must never alias another instruction's metadata).
+_META_CACHE: Dict[int, Tuple[Instruction, OpMeta]] = {}
+_META_CACHE_LIMIT = 1 << 20
+
+#: (id(architecture), opcode) -> (architecture, latency); identity-pinned
+#: like :data:`_META_CACHE`.
+_LATENCY_CACHE: Dict[Tuple[int, str], Tuple[object, int]] = {}
+_LATENCY_CACHE_LIMIT = 1 << 16
+
+
+def instruction_meta(instruction: Instruction) -> OpMeta:
+    """The packed metadata of ``instruction`` (memoized by identity)."""
+    key = id(instruction)
+    entry = _META_CACHE.get(key)
+    if entry is not None and entry[0] is instruction:
+        return entry[1]
+    meta = OpMeta(instruction)
+    if len(_META_CACHE) >= _META_CACHE_LIMIT:
+        _META_CACHE.clear()
+    _META_CACHE[key] = (instruction, meta)
+    return meta
+
+
+def cached_latency(architecture: GpuArchitecture, opcode: str) -> int:
+    """``architecture.latency(opcode)`` memoized per architecture object."""
+    key = (id(architecture), opcode)
+    entry = _LATENCY_CACHE.get(key)
+    if entry is not None and entry[0] is architecture:
+        return entry[1]
+    value = architecture.latency(opcode)
+    if len(_LATENCY_CACHE) >= _LATENCY_CACHE_LIMIT:
+        _LATENCY_CACHE.clear()
+    _LATENCY_CACHE[key] = (architecture, value)
+    return value
+
+
+#: Latency scale classes of :func:`_dynamic_latency` (packed per block).
+_SCALE_NONE, _SCALE_MEMORY, _SCALE_CONSTANT, _SCALE_SHARED = range(4)
+
+#: Memory spaces that scale with :attr:`WorkloadSpec.memory_latency_scale`.
+_MEMORY_SCALED_SPACES = (
+    MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE,
+)
+
+
 def _dynamic_latency(
     instruction: Instruction,
     architecture: GpuArchitecture,
@@ -65,12 +174,11 @@ def _dynamic_latency(
     transactions: int,
 ) -> int:
     """Completion latency of a variable-latency instruction for this execution."""
-    info = instruction.info
-    base = architecture.latency(instruction.opcode)
+    base = cached_latency(architecture, instruction.opcode)
     space = instruction.memory_space
     jitter = rng.uniform(0.85, 1.25)
     scale = 1.0
-    if space in (MemorySpace.GLOBAL, MemorySpace.GENERIC, MemorySpace.LOCAL, MemorySpace.TEXTURE):
+    if space in _MEMORY_SCALED_SPACES:
         scale = workload.memory_latency_scale
         if transactions > 1:
             # Uncoalesced accesses serialize transactions at the memory pipe.
@@ -80,6 +188,56 @@ def _dynamic_latency(
     elif space is MemorySpace.SHARED:
         scale = workload.shared_latency_scale
     return max(1, int(base * scale * jitter))
+
+
+def _scale_kind(space: Optional[MemorySpace]) -> int:
+    if space in _MEMORY_SCALED_SPACES:
+        return _SCALE_MEMORY
+    if space is MemorySpace.CONSTANT:
+        return _SCALE_CONSTANT
+    if space is MemorySpace.SHARED:
+        return _SCALE_SHARED
+    return _SCALE_NONE
+
+
+#: id(block) -> (block, records): per-instruction static tuples the walk
+#: consumes.  Identity-pinned like :data:`_META_CACHE`; blocks live as long
+#: as the program structure they belong to, so the memo amortizes the
+#: per-instruction attribute dispatch across every warp of a launch.
+_BLOCK_CACHE: Dict[int, Tuple[object, list]] = {}
+_BLOCK_CACHE_LIMIT = 1 << 18
+
+
+def _block_records(block) -> list:
+    """Packed per-instruction walk records of one basic block.
+
+    One record per instruction:
+    ``(instruction, needs_dynamic, is_memory, throttled, line, is_call,
+    is_exit, scale_kind, opcode)``.
+    """
+    key = id(block)
+    entry = _BLOCK_CACHE.get(key)
+    if entry is not None and entry[0] is block:
+        return entry[1]
+    records = []
+    for instruction in block.instructions:
+        is_memory = instruction.is_memory
+        is_variable = instruction.info.is_variable_latency
+        records.append((
+            instruction,
+            is_memory or is_variable,
+            is_memory,
+            is_memory and instruction.memory_space in THROTTLED_SPACES,
+            instruction.line,
+            instruction.is_call,
+            instruction.is_exit,
+            _scale_kind(instruction.memory_space),
+            instruction.opcode,
+        ))
+    if len(_BLOCK_CACHE) >= _BLOCK_CACHE_LIMIT:
+        _BLOCK_CACHE.clear()
+    _BLOCK_CACHE[key] = (block, records)
+    return records
 
 
 def generate_warp_trace(
@@ -92,10 +250,25 @@ def generate_warp_trace(
 ) -> List[TraceOp]:
     """Generate the dynamic instruction trace of one warp."""
     rng = workload.rng_for_warp(warp_id)
+    uniform = rng.uniform
     ops: List[TraceOp] = []
+    append_op = ops.append
     executed_functions: Set[str] = set()
     sector_bytes = architecture.memory.sector_bytes
     warp_size = architecture.warp_size
+    max_trace_ops = workload.max_trace_ops
+    memory_scale = workload.memory_latency_scale
+    #: scale_kind -> base latency scale (memory transactions add on top).
+    kind_scales = (
+        1.0, memory_scale, workload.constant_latency_scale,
+        workload.shared_latency_scale,
+    )
+    #: Per-call memos: line -> transactions / stride, and stride -> the
+    #: address-generation constants of :meth:`WorkloadSpec.address_for`
+    #: (request bytes, working set, partition, this warp's base).
+    line_transactions: Dict[Optional[int], int] = {}
+    line_stride: Dict[Optional[int], int] = {}
+    stride_layout: Dict[int, Tuple[int, int, int, int]] = {}
     #: Per-warp count of hierarchy-visible memory accesses, used to walk
     #: the warp through its working-set partition deterministically.
     memory_accesses = 0
@@ -111,34 +284,61 @@ def generate_warp_trace(
         back_edge_taken: Dict[int, int] = {}
 
         while True:
-            if len(ops) >= workload.max_trace_ops:
+            if len(ops) >= max_trace_ops:
                 return
-            for instruction in block.instructions:
-                if len(ops) >= workload.max_trace_ops:
+            for record in _block_records(block):
+                if len(ops) >= max_trace_ops:
                     return
+                (instruction, needs_dynamic, is_memory, throttled, line,
+                 is_call, is_exit, scale_kind, opcode) = record
                 transactions = 0
                 latency = 0
                 address = 0
                 stride = 0
-                if instruction.is_memory or instruction.info.is_variable_latency:
-                    if instruction.is_memory:
-                        transactions = workload.transactions(instruction.line)
-                        if instruction.memory_space in THROTTLED_SPACES:
+                if needs_dynamic:
+                    if is_memory:
+                        transactions = line_transactions.get(line)
+                        if transactions is None:
+                            transactions = workload.transactions(line)
+                            line_transactions[line] = transactions
+                        if throttled:
                             # Address generation is a pure function of the
                             # access count — it consumes no randomness, so
                             # the flat model's traces stay bit-identical.
-                            stride = workload.access_stride(
-                                instruction.line, sector_bytes, warp_size
-                            )
-                            address = workload.address_for(
-                                warp_id, memory_accesses, stride,
-                                num_warps, warp_size,
-                            )
+                            stride = line_stride.get(line)
+                            if stride is None:
+                                stride = workload.access_stride(
+                                    line, sector_bytes, warp_size
+                                )
+                                line_stride[line] = stride
+                            layout = stride_layout.get(stride)
+                            if layout is None:
+                                request_bytes = max(1, warp_size * stride)
+                                working_set = max(
+                                    request_bytes, workload.working_set_bytes
+                                )
+                                partition = max(
+                                    request_bytes, working_set // max(1, num_warps)
+                                )
+                                layout = (
+                                    request_bytes, working_set, partition,
+                                    (warp_id * partition) % working_set,
+                                )
+                                stride_layout[stride] = layout
+                            request_bytes, working_set, partition, base = layout
+                            address = (
+                                base + (memory_accesses * request_bytes) % partition
+                            ) % working_set
                             memory_accesses += 1
-                    latency = _dynamic_latency(
-                        instruction, architecture, workload, rng, max(1, transactions)
-                    )
-                ops.append(
+                    # Inline of :func:`_dynamic_latency` over the packed
+                    # record (identical arithmetic, identical rng draws).
+                    jitter = uniform(0.85, 1.25)
+                    scale = kind_scales[scale_kind]
+                    if scale_kind == _SCALE_MEMORY and transactions > 1:
+                        scale *= 1.0 + 0.15 * (transactions - 1)
+                    base_latency = cached_latency(architecture, opcode)
+                    latency = max(1, int(base_latency * scale * jitter))
+                append_op(
                     TraceOp(
                         function=function_name,
                         instruction=instruction,
@@ -148,11 +348,11 @@ def generate_warp_trace(
                         stride_bytes=stride,
                     )
                 )
-                if instruction.is_call:
-                    callee = workload.call_target(instruction.line)
+                if is_call:
+                    callee = workload.call_target(line)
                     if callee is not None and callee in structure.functions:
                         walk(callee, depth + 1)
-                if instruction.is_exit:
+                if is_exit:
                     return
 
             terminator = block.terminator

@@ -1,0 +1,108 @@
+"""Object vs. vector core: byte-identical wire-form results, every case.
+
+The tentpole contract of the vector backend is *bit identity*: for every
+registry benchmark, under every simulation scope and memory model, the
+serialized :class:`~repro.api.result.AdvisingResult` must be byte-for-byte
+identical between ``simulator_backend="object"`` and ``"vector"`` (only the
+wall-clock ``duration`` field, which no simulation output feeds, is zeroed
+before comparison).
+
+Every single-wave combination runs on all 26 registry cases.  The whole-GPU
+scope simulates every SM of every dispatch wave, so its full sweep takes
+minutes: a representative subset runs by default and the complete matrix is
+enabled with ``REPRO_FULL_EQUIVALENCE=1`` (CI's nightly sweep sets it).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.api.request import request_for_case
+from repro.api.session import AdvisingSession
+from repro.workloads.registry import case_names
+
+pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.xdist_group("backend_equivalence")
+
+ALL_CASES = case_names()
+#: Always-on whole-GPU subset: the three smallest grids (16/40/50 blocks)
+#: — grid-limited launches that still exercise the tail-wave and cross-SM
+#: paths, from distinct suites, without the minutes-long full-grid walks
+#: the nightly sweep covers.
+WHOLE_GPU_CASES = [
+    "PeleC:block_increase",
+    "rodinia/particlefilter:block_increase",
+    "rodinia/streamcluster:block_increase",
+]
+FULL_MATRIX = bool(os.environ.get("REPRO_FULL_EQUIVALENCE"))
+
+_SESSIONS = {}
+
+
+def session_for(backend, scope, memory_model):
+    key = (backend, scope, memory_model)
+    session = _SESSIONS.get(key)
+    if session is None:
+        session = AdvisingSession(
+            sample_period=8, simulation_scope=scope, memory_model=memory_model,
+            simulator_backend=backend,
+        )
+        _SESSIONS[key] = session
+    return session
+
+
+def wire_form(backend, scope, memory_model, case_id):
+    result = session_for(backend, scope, memory_model).advise(
+        request_for_case(case_id)
+    )
+    payload = result.to_dict()
+    assert not payload.get("error"), payload.get("error")
+    payload["duration"] = 0.0
+    return json.dumps(payload, sort_keys=True)
+
+
+def assert_backends_agree(scope, memory_model, case_id):
+    reference = wire_form("object", scope, memory_model, case_id)
+    vectorized = wire_form("vector", scope, memory_model, case_id)
+    assert vectorized == reference
+
+
+@pytest.mark.parametrize("case_id", ALL_CASES)
+@pytest.mark.parametrize("memory_model", ["flat", "hierarchy"])
+class TestSingleWaveEquivalence:
+    def test_wire_identical(self, memory_model, case_id):
+        assert_backends_agree("single_wave", memory_model, case_id)
+
+
+@pytest.mark.parametrize(
+    "case_id", ALL_CASES if FULL_MATRIX else WHOLE_GPU_CASES
+)
+@pytest.mark.parametrize("memory_model", ["flat", "hierarchy"])
+class TestWholeGpuEquivalence:
+    def test_wire_identical(self, memory_model, case_id):
+        assert_backends_agree("whole_gpu", memory_model, case_id)
+
+
+class TestObservationNeutrality:
+    """Sampling must observe, never perturb — on the vector core too."""
+
+    @pytest.mark.parametrize("memory_model", ["flat", "hierarchy"])
+    def test_kernel_cycles_invariant_across_periods(self, memory_model):
+        case_id = ALL_CASES[0]
+        facts = []
+        for period in (8, 32, 128):
+            session = AdvisingSession(
+                sample_period=period, memory_model=memory_model,
+                simulator_backend="vector",
+            )
+            profiled = session.profile(request_for_case(case_id))
+            statistics = profiled.profile.statistics
+            memory = (
+                statistics.memory.to_dict() if statistics.memory is not None else None
+            )
+            facts.append(
+                (statistics.kernel_cycles, statistics.wave_cycles, memory)
+            )
+        assert facts[0] == facts[1] == facts[2]
