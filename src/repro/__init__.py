@@ -73,9 +73,11 @@ from repro.sampling.stall_reasons import DetailedStallReason, StallReason
 from repro.sampling.workload import WorkloadSpec
 from repro.service.client import ServiceClient
 from repro.service.daemon import AdvisingDaemon, ServiceConfig
+from repro.staticcheck.engine import StaticChecker
+from repro.staticcheck.report import StaticDiagnostic, StaticReport, render_static_report
 from repro.structure.program import ProgramStructure, build_program_structure
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "API_SCHEMA_VERSION",
@@ -122,11 +124,15 @@ __all__ = [
     "profile_cache_key",
     "request_for_case",
     "StallReason",
+    "StaticChecker",
+    "StaticDiagnostic",
+    "StaticReport",
     "VoltaV100",
     "WorkloadSpec",
     "build_program_structure",
     "default_optimizers",
     "get_architecture",
     "render_report",
+    "render_static_report",
     "__version__",
 ]

@@ -31,6 +31,11 @@ builds an :class:`~repro.api.session.AdvisingSession`, describes the work as
    gpa-advise serve --port 8765 --workers 4 --cache-dir .gpa-cache
    gpa-advise submit --url http://127.0.0.1:8765 --case rodinia/hotspot:strength_reduction
    gpa-advise submit --url http://127.0.0.1:8765 --all --limit 3 --output json
+
+   # Static lint (dataflow over the CFG, no simulation): one case as text,
+   # or the full registry as the golden-report JSON layout.
+   gpa-advise lint --case rodinia/nw:warp_balance
+   gpa-advise lint --all --output json --output-dir lint-reports
 """
 
 from __future__ import annotations
@@ -47,7 +52,7 @@ from repro.advisor.report import render_report
 from repro.api.request import AdvisingRequest, request_for_case
 from repro.api.result import AdvisingResult, dump_jsonl
 from repro.api.session import AdvisingSession
-from repro.arch.machine import architecture_flags
+from repro.arch.machine import ArchitectureError, architecture_flags
 from repro.cubin.binary import Cubin
 from repro.pipeline.batch import error_summary
 from repro.pipeline.runner import ProgressEvent
@@ -67,7 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="Subcommands: 'gpa-advise serve' runs the persistent advising "
                "daemon; 'gpa-advise submit' sends jobs to it (see "
                "'gpa-advise serve --help' / 'gpa-advise submit --help' and "
-               "docs/SERVICE.md).",
+               "docs/SERVICE.md); 'gpa-advise lint' runs the static checker "
+               "without simulating (see docs/STATIC_ANALYSIS.md).",
     )
     parser.add_argument("--list", action="store_true", help="list the built-in benchmark cases")
     parser.add_argument("--case", help="benchmark case to profile and analyze (see --list)")
@@ -538,6 +544,134 @@ def _submit_main(argv: List[str]) -> int:
         return 1
 
 
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpa-advise lint",
+        description="Static lint over kernel CFGs — dataflow analyses and "
+                    "typed diagnostics, no simulation (see docs/STATIC_ANALYSIS.md)",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list the built-in benchmark cases")
+    parser.add_argument("--case", help="benchmark case to lint (see --list)")
+    parser.add_argument("--all", action="store_true",
+                        help="lint every benchmark case in the registry")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="with --all: only lint the first N cases")
+    parser.add_argument("--optimized", action="store_true",
+                        help="lint the case's optimized variant instead of the baseline")
+    parser.add_argument("--arch", choices=architecture_flags(), default=None,
+                        help="retarget the binary to another architecture")
+    parser.add_argument("--strict-arch", action="store_true",
+                        help="fail instead of falling back when the binary's "
+                             "architecture flag is unknown")
+    parser.add_argument("--output", choices=("text", "json"), default="text",
+                        help="report format (default text)")
+    parser.add_argument("--output-dir", metavar="DIR", default=None,
+                        help="with --all --output json: write one "
+                             "<case>.json per case into DIR (the layout CI's "
+                             "lint-smoke job diffs against the golden reports)")
+    parser.add_argument("--crosscheck", action="store_true",
+                        help="with --case --output text: also run the dynamic "
+                             "advisor and print the static cross-check "
+                             "annotations")
+    return parser
+
+
+def _lint_slug(case_id: str) -> str:
+    """Filesystem-safe golden-report name of one case id."""
+    return case_id.replace("/", "__").replace(":", "__")
+
+
+def _lint_main(argv: List[str]) -> int:
+    """``gpa-advise lint``: run the static checker from the shell."""
+    from repro.staticcheck.crosscheck import cross_check
+    from repro.staticcheck.report import render_static_report
+
+    parser = _build_lint_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in case_names():
+            print(name)
+        return 0
+    if args.all and args.case:
+        parser.error("--case cannot be combined with --all (pick one scope)")
+    if not args.all and not args.case:
+        parser.error("nothing to do: pass --case, --all or --list")
+    if args.limit is not None and not args.all:
+        parser.error("--limit only applies to --all sweeps")
+    if args.limit is not None and args.limit < 0:
+        parser.error("--limit must be non-negative")
+    if args.output_dir is not None and not (args.all and args.output == "json"):
+        parser.error("--output-dir requires --all --output json")
+    if args.crosscheck and (args.all or args.output != "text"):
+        parser.error("--crosscheck requires --case --output text")
+    if args.case:
+        try:
+            case_by_name(args.case)
+        except KeyError:
+            parser.error(
+                f"unknown benchmark case {args.case!r}; run gpa-advise lint "
+                "--list to see the available cases"
+            )
+
+    session = AdvisingSession()
+    variant = "optimized" if args.optimized else "baseline"
+
+    def lint_one(case_id: str):
+        request = request_for_case(case_id, variant, arch_flag=args.arch)
+        return session.lint(request, strict_architecture=args.strict_arch)
+
+    try:
+        if args.case:
+            report = lint_one(args.case)
+            if args.output == "json":
+                sys.stdout.write(report.to_json())
+            else:
+                print(render_static_report(report))
+                if args.crosscheck:
+                    result = session.advise(
+                        request_for_case(args.case, variant, arch_flag=args.arch)
+                    )
+                    if not result.ok:
+                        print(result.error, file=sys.stderr)
+                        return 1
+                    print("Cross-check against the dynamic advisor:")
+                    notes = cross_check(result.report, report)
+                    for note in notes or ["(no overlapping findings)"]:
+                        print(f"  {note}")
+            return 0
+
+        ids = case_names()
+        if args.limit is not None:
+            ids = ids[: args.limit]
+        reports = [(case_id, lint_one(case_id)) for case_id in ids]
+        if args.output_dir is not None:
+            out_dir = Path(args.output_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for case_id, report in reports:
+                (out_dir / f"{_lint_slug(case_id)}.json").write_text(report.to_json())
+            print(f"wrote {len(reports)} lint reports to {out_dir}", file=sys.stderr)
+        elif args.output == "json":
+            document = {case_id: report.to_dict() for case_id, report in reports}
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            for _case_id, report in reports:
+                print(render_static_report(report))
+            totals = {"info": 0, "warning": 0, "error": 0}
+            for _case_id, report in reports:
+                for severity, count in report.counts_by_severity().items():
+                    totals[severity] += count
+            print(
+                f"Linted {len(reports)} cases: "
+                + ", ".join(f"{count} {severity}" for severity, count in totals.items())
+            )
+        return 0
+    except ArchitectureError as exc:
+        print(f"gpa-advise lint: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``gpa-advise``."""
     if argv is None:
@@ -546,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _serve_main(list(argv[1:]))
     if argv and argv[0] == "submit":
         return _submit_main(list(argv[1:]))
+    if argv and argv[0] == "lint":
+        return _lint_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

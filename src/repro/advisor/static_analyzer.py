@@ -13,6 +13,7 @@ From a CUBIN the static analyzer recovers:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -30,6 +31,9 @@ class StaticAnalysis:
     structure: ProgramStructure
     architecture: GpuArchitecture
     disassembly: Dict[str, DisassembledFunction]
+    #: The unknown architecture flag :attr:`architecture` was substituted
+    #: for, or ``None`` when the binary's flag resolved cleanly.
+    architecture_fallback: Optional[str] = None
 
     def listing(self, function_name: str) -> str:
         """The nvdisasm-style listing of one function."""
@@ -37,17 +41,39 @@ class StaticAnalysis:
 
 
 class StaticAnalyzer:
-    """Analyzes CUBINs offline, before any profile is consulted."""
+    """Analyzes CUBINs offline, before any profile is consulted.
 
-    def __init__(self, default_architecture: Optional[GpuArchitecture] = None):
+    A binary whose architecture flag is unknown falls back to
+    ``default_architecture`` — the fallback is recorded on the analysis and
+    warned about, because latency figures from the wrong machine model are
+    quietly misleading.  ``strict=True`` turns the fallback into the
+    underlying :class:`~repro.arch.machine.ArchitectureError` instead.
+    """
+
+    def __init__(
+        self,
+        default_architecture: Optional[GpuArchitecture] = None,
+        strict: bool = False,
+    ):
         self.default_architecture = default_architecture or VoltaV100
+        self.strict = strict
 
     def analyze(self, cubin: Cubin, from_bytes: bool = False) -> StaticAnalysis:
         """Recover structure, architecture features and disassembly."""
+        architecture_fallback: Optional[str] = None
         try:
             architecture = get_architecture(cubin.arch_flag)
         except ArchitectureError:
+            if self.strict:
+                raise
             architecture = self.default_architecture
+            architecture_fallback = cubin.arch_flag
+            warnings.warn(
+                f"unknown architecture flag {cubin.arch_flag!r}; analyzing "
+                f"against {architecture.name} — latency and occupancy figures "
+                "may not match the real target",
+                stacklevel=2,
+            )
         structure = build_program_structure(cubin)
         disassembly = disassemble_cubin(cubin, from_bytes=from_bytes)
         return StaticAnalysis(
@@ -55,4 +81,5 @@ class StaticAnalyzer:
             structure=structure,
             architecture=architecture,
             disassembly=disassembly,
+            architecture_fallback=architecture_fallback,
         )

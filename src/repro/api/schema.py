@@ -37,7 +37,12 @@ from typing import Any
 #:    core selection).  Results deliberately do not: the two cores are
 #:    bit-identical by contract, so the core that ran is an execution
 #:    detail, not part of the answer.
-API_SCHEMA_VERSION = 4
+#: 5. The static lint layer adds the ``static_report`` and
+#:    ``static_diagnostic`` envelope kinds
+#:    (:mod:`repro.staticcheck.report`).  Existing payload shapes are
+#:    unchanged; the bump exists so a version-5 consumer can rely on the
+#:    new kinds being understood end-to-end.
+API_SCHEMA_VERSION = 5
 
 
 class ApiError(Exception):

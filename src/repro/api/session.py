@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.advisor.report import AdviceReport
 from repro.api.request import AdvisingRequest
@@ -49,6 +49,9 @@ from repro.sampling.profiler import ProfiledKernel, Profiler, check_simulation_s
 from repro.sampling.vector import resolve_simulator_backend
 from repro.sampling.sample import KernelProfile
 from repro.structure.program import ProgramStructure, build_program_structure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.staticcheck.report import StaticReport
 
 
 class AdvisingSession:
@@ -215,6 +218,38 @@ class AdvisingSession:
         if request.cache_policy == "refresh" and stage.cache is not None:
             stage.cache.invalidate(stage.cache_key(profile_request))
         return stage.run(profile_request)
+
+    def lint(
+        self, request: AdvisingRequest, strict_architecture: bool = False
+    ) -> "StaticReport":
+        """Run the static lint over a case/binary request — no simulation.
+
+        Resolves the request's binary exactly like :meth:`profile` does
+        (registry case or inline CUBIN, ``arch_flag`` retargeting included)
+        and hands it to :class:`repro.staticcheck.engine.StaticChecker`.
+        Purely additive: nothing here touches the profile cache or the
+        advising pipeline, so dynamic results are byte-identical whether or
+        not a lint ever ran.
+        """
+        # Imported lazily: sessions that never lint shouldn't pay for the
+        # static-analysis layer at import time.
+        from repro.staticcheck.engine import StaticChecker
+
+        if request.source == "profile":
+            raise ApiValidationError(
+                "a profile-source request has no binary to lint; "
+                "build the request from a case or a cubin"
+            )
+        cubin, kernel, config, workload = self._resolve_setup(request)
+        if request.arch_flag is not None:
+            cubin = retarget(cubin, request.arch_flag)
+        checker = StaticChecker(
+            architecture=self.architecture, strict_architecture=strict_architecture
+        )
+        case_id = request.case_id if request.source == "case" else None
+        return checker.check(
+            cubin, kernel=kernel, config=config, workload=workload, case_id=case_id
+        )
 
     def analyze(self, profile: KernelProfile, structure: ProgramStructure) -> AdviceReport:
         """Run the analysis stage on an existing profile."""

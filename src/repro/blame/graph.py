@@ -92,7 +92,7 @@ class DependencyGraph:
         self._out_edges.setdefault(edge.source, []).append(edge)
 
     def remove_edges(self, removed: Iterable[DependencyEdge]) -> None:
-        removed_set = set(id(edge) for edge in removed)
+        removed_set = {id(edge) for edge in removed}
         if not removed_set:
             return
         self.edges = [edge for edge in self.edges if id(edge) not in removed_set]

@@ -168,7 +168,7 @@ class SMSimulator:
             for i in range(len(traces))
         ]
         scheduler_warps: List[List[int]] = [[] for _ in range(num_schedulers)]
-        for index, warp in enumerate(warps):
+        for index in range(len(warps)):
             scheduler_warps[index % num_schedulers].append(index)
 
         # Block barrier bookkeeping.

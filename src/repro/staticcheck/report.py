@@ -1,0 +1,263 @@
+"""Wire forms of the static lint layer.
+
+``StaticDiagnostic`` and ``StaticReport`` follow the same envelope contract
+as every other API payload (:mod:`repro.api.schema`): an explicit
+``schema_version`` and ``kind``, strict loaders, and ``dump -> load -> dump``
+as a byte-stable fixed point.  :meth:`StaticReport.to_json` is the canonical
+serialization the golden-report tests and CI's ``lint-smoke`` job pin — keys
+sorted, two-space indent, trailing newline — so two runs anywhere produce
+identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.api.schema import canonical_json, check_envelope, envelope, require_key
+
+#: Severity levels, in ascending order of concern.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass
+class StaticDiagnostic:
+    """One typed lint finding, anchored to an instruction offset."""
+
+    #: Rule identifier (``uncoalesced-stride``, ``dead-register-write``, ...).
+    rule: str
+    severity: str
+    function: str
+    offset: int
+    message: str
+    line: Optional[int] = None
+    #: Rule-specific evidence (strides, register indices, block indices...).
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.function, self.offset, self.rule, self.message)
+
+    def describe(self) -> str:
+        """One-line human form of the finding."""
+        where = f"{self.function}+{self.offset:#x}"
+        if self.line is not None:
+            where += f" (line {self.line})"
+        return f"[{self.severity}] {self.rule} at {where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return envelope(
+            "static_diagnostic",
+            {
+                "rule": self.rule,
+                "severity": self.severity,
+                "function": self.function,
+                "offset": self.offset,
+                "line": self.line,
+                "message": self.message,
+                "details": canonical_json(self.details, "diagnostic details"),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StaticDiagnostic":
+        payload = check_envelope(payload, "static_diagnostic")
+        return cls(
+            rule=require_key(payload, "rule", "static_diagnostic"),
+            severity=require_key(payload, "severity", "static_diagnostic"),
+            function=require_key(payload, "function", "static_diagnostic"),
+            offset=require_key(payload, "offset", "static_diagnostic"),
+            message=require_key(payload, "message", "static_diagnostic"),
+            line=payload.get("line"),
+            details=dict(payload.get("details") or {}),
+        )
+
+
+@dataclass
+class FunctionLint:
+    """Per-function static summary carried by a :class:`StaticReport`.
+
+    The nested summaries are kept as plain JSON-shaped dicts (canonicalized
+    at construction) so the report round-trips without a second schema:
+
+    * ``registers`` — ``declared`` (the CUBIN's per-thread count),
+      ``static_max_live`` (live-range pressure), ``max_live_offset``;
+    * ``depth`` — whole-function ``total_latency``/``critical_path``/``ilp``;
+    * ``block_depths`` / ``loop_depths`` — the per-region estimates;
+    * ``occupancy`` — present for the launched kernel only: the
+      ``arch/occupancy`` figures for the declared register count and the
+      what-if figures at the static pressure.
+    """
+
+    name: str
+    is_kernel: bool
+    blocks: int
+    instructions: int
+    loops: int
+    unreachable_blocks: List[int] = field(default_factory=list)
+    registers: Dict[str, object] = field(default_factory=dict)
+    depth: Dict[str, object] = field(default_factory=dict)
+    block_depths: List[dict] = field(default_factory=list)
+    loop_depths: List[dict] = field(default_factory=list)
+    occupancy: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "is_kernel": self.is_kernel,
+            "blocks": self.blocks,
+            "instructions": self.instructions,
+            "loops": self.loops,
+            "unreachable_blocks": list(self.unreachable_blocks),
+            "registers": canonical_json(self.registers, "register summary"),
+            "depth": canonical_json(self.depth, "depth summary"),
+            "block_depths": canonical_json(self.block_depths, "block depths"),
+            "loop_depths": canonical_json(self.loop_depths, "loop depths"),
+            "occupancy": canonical_json(self.occupancy, "occupancy summary"),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FunctionLint":
+        return cls(
+            name=payload["name"],
+            is_kernel=payload["is_kernel"],
+            blocks=payload["blocks"],
+            instructions=payload["instructions"],
+            loops=payload["loops"],
+            unreachable_blocks=list(payload.get("unreachable_blocks") or []),
+            registers=dict(payload.get("registers") or {}),
+            depth=dict(payload.get("depth") or {}),
+            block_depths=list(payload.get("block_depths") or []),
+            loop_depths=list(payload.get("loop_depths") or []),
+            occupancy=payload.get("occupancy"),
+        )
+
+
+@dataclass
+class StaticReport:
+    """Everything the static checker found in one binary."""
+
+    kernel: str
+    arch_flag: str
+    functions: List[FunctionLint] = field(default_factory=list)
+    diagnostics: List[StaticDiagnostic] = field(default_factory=list)
+    #: Registry case the binary came from, when known.
+    case_id: Optional[str] = None
+    #: The unknown architecture flag the analyzer fell back from, if any.
+    architecture_fallback: Optional[str] = None
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity] += 1
+        return counts
+
+    def diagnostics_for(self, rule: str) -> List[StaticDiagnostic]:
+        return [diagnostic for diagnostic in self.diagnostics if diagnostic.rule == rule]
+
+    def diagnostics_at_line(self, line: int) -> List[StaticDiagnostic]:
+        return [diagnostic for diagnostic in self.diagnostics if diagnostic.line == line]
+
+    def function_lint(self, name: str) -> FunctionLint:
+        for entry in self.functions:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no lint summary for function {name!r}")
+
+    def to_dict(self) -> dict:
+        return envelope(
+            "static_report",
+            {
+                "kernel": self.kernel,
+                "arch_flag": self.arch_flag,
+                "case_id": self.case_id,
+                "architecture_fallback": self.architecture_fallback,
+                "functions": [entry.to_dict() for entry in self.functions],
+                "diagnostics": [diagnostic.to_dict() for diagnostic in self.diagnostics],
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StaticReport":
+        payload = check_envelope(payload, "static_report")
+        return cls(
+            kernel=require_key(payload, "kernel", "static_report"),
+            arch_flag=require_key(payload, "arch_flag", "static_report"),
+            case_id=payload.get("case_id"),
+            architecture_fallback=payload.get("architecture_fallback"),
+            functions=[
+                FunctionLint.from_dict(entry)
+                for entry in require_key(payload, "functions", "static_report")
+            ],
+            diagnostics=[
+                StaticDiagnostic.from_dict(entry)
+                for entry in require_key(payload, "diagnostics", "static_report")
+            ],
+        )
+
+    def to_json(self) -> str:
+        """The canonical byte-stable serialization (what golden files pin)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "StaticReport":
+        return cls.from_dict(json.loads(text))
+
+
+def render_static_report(report: StaticReport) -> str:
+    """Human-readable text form of one report (the CLI's ``--output text``)."""
+    lines: List[str] = []
+    title = report.case_id or report.kernel
+    lines.append("=" * 78)
+    lines.append(f"Static lint report for {title} [{report.arch_flag}]")
+    lines.append("=" * 78)
+    if report.architecture_fallback is not None:
+        lines.append(
+            f"note: unknown architecture flag {report.architecture_fallback!r}; "
+            "figures use the fallback architecture"
+        )
+    counts = report.counts_by_severity()
+    lines.append(
+        "Diagnostics: "
+        + ", ".join(f"{counts[severity]} {severity}" for severity in SEVERITIES)
+    )
+    for entry in report.functions:
+        kind = "kernel" if entry.is_kernel else "function"
+        lines.append("-" * 78)
+        lines.append(
+            f"{kind} {entry.name}: {entry.blocks} blocks, "
+            f"{entry.instructions} instructions, {entry.loops} loops"
+        )
+        registers = entry.registers
+        if registers:
+            lines.append(
+                f"  registers: declared {registers.get('declared')}, "
+                f"static max live {registers.get('static_max_live')}"
+            )
+        depth = entry.depth
+        if depth:
+            lines.append(
+                f"  depth: critical path {depth.get('critical_path')} cycles, "
+                f"ilp {depth.get('ilp')}"
+            )
+        if entry.occupancy:
+            declared = entry.occupancy.get("declared", {})
+            lines.append(
+                f"  occupancy: {declared.get('occupancy')} "
+                f"(limited by {declared.get('limiter')})"
+            )
+        if entry.unreachable_blocks:
+            lines.append(f"  unreachable blocks: {entry.unreachable_blocks}")
+    if report.diagnostics:
+        lines.append("-" * 78)
+        for diagnostic in report.diagnostics:
+            lines.append(diagnostic.describe())
+    lines.append("=" * 78)
+    return "\n".join(lines)

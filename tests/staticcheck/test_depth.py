@@ -1,0 +1,95 @@
+"""Static dependency-depth / ILP estimates."""
+
+from repro.arch.machine import VoltaV100
+from repro.cfg.dominators import compute_dominator_tree
+from repro.cfg.loops import find_loops
+from repro.staticcheck.depth import _round_ilp, estimate_depths
+
+
+def _analyze(cfg):
+    loop_nest = find_loops(cfg, compute_dominator_tree(cfg))
+    return estimate_depths(cfg, loop_nest, VoltaV100)
+
+
+SERIAL = """
+IADD R1, R2, R3
+IADD R1, R1, R3
+IADD R1, R1, R3
+EXIT
+"""
+
+PARALLEL = """
+IADD R1, R2, R3
+IADD R4, R5, R6
+IADD R7, R8, R9
+EXIT
+"""
+
+LOOPED = """
+MOV R1, 0x0
+LOOP:
+IADD R1, R1, R2
+ISETP.LT.AND P0, R1, R3
+@P0 BRA LOOP
+EXIT
+"""
+
+
+def test_round_ilp():
+    assert _round_ilp(10, 4) == 2.5
+    assert _round_ilp(10, 3) == round(10 / 3, 4)
+    assert _round_ilp(0, 0) == 0.0
+    assert _round_ilp(5, 0) == 0.0
+
+
+def test_serial_chain_vs_parallel_block(make_cfg):
+    serial = _analyze(make_cfg(SERIAL)).block_depth(0)
+    parallel = _analyze(make_cfg(PARALLEL)).block_depth(0)
+    # Same instruction mix, so the serial cost matches...
+    assert serial.total_latency == parallel.total_latency
+    assert serial.instructions == parallel.instructions == 4
+    # ...but the dependent chain runs three adds deep while the independent
+    # one issues them side by side.
+    assert serial.critical_path > parallel.critical_path
+    assert parallel.ilp > serial.ilp
+    assert serial.ilp == _round_ilp(serial.total_latency, serial.critical_path)
+
+
+def test_serial_chain_depth_is_sum_of_add_latencies(make_cfg):
+    depth = _analyze(make_cfg(SERIAL)).block_depth(0)
+    add_latency = VoltaV100.latency("IADD")
+    assert depth.critical_path == max(3 * add_latency, VoltaV100.latency("EXIT"))
+
+
+def test_predicate_dependencies_serialize(make_cfg):
+    cfg = make_cfg(
+        """
+        ISETP.LT.AND P0, R1, R2
+        @P0 MOV R3, 0x1
+        EXIT
+        """
+    )
+    depth = _analyze(cfg).block_depth(0)
+    # The predicated move cannot start before its guard predicate is ready.
+    assert depth.critical_path >= VoltaV100.latency("ISETP") + VoltaV100.latency("MOV")
+
+
+def test_loop_depth_entry(make_cfg):
+    analysis = _analyze(make_cfg(LOOPED))
+    assert len(analysis.loops) == 1
+    loop = analysis.loops[0]
+    assert loop.header_offset == 0x10
+    assert loop.blocks == 1
+    assert loop.instructions == 3
+    assert loop.ilp == _round_ilp(loop.total_latency, loop.critical_path)
+
+
+def test_function_aggregate_chains_blocks(make_cfg):
+    analysis = _analyze(make_cfg(LOOPED))
+    assert analysis.total_latency == sum(
+        entry.total_latency for entry in analysis.blocks
+    )
+    assert analysis.critical_path == sum(
+        entry.critical_path for entry in analysis.blocks
+    )
+    assert analysis.ilp == _round_ilp(analysis.total_latency, analysis.critical_path)

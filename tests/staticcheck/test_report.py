@@ -1,0 +1,117 @@
+"""Wire forms: envelopes, strict loaders, byte-stable round-trips."""
+
+import json
+
+import pytest
+
+from repro.api.schema import API_SCHEMA_VERSION, ApiSchemaError
+from repro.staticcheck.engine import StaticChecker
+from repro.staticcheck.report import (
+    StaticDiagnostic,
+    StaticReport,
+    render_static_report,
+)
+
+KERNEL = """
+S2R R0, SR_TID.X
+ISETP.LT.AND P0, R0, R2
+@P0 BRA SKIP
+BAR.SYNC
+SKIP:
+EXIT
+"""
+
+
+@pytest.fixture
+def report(make_cubin):
+    return StaticChecker().check(make_cubin(KERNEL), case_id="synthetic/case")
+
+
+def test_severity_is_validated():
+    with pytest.raises(ValueError, match="severity"):
+        StaticDiagnostic(
+            rule="x", severity="fatal", function="k", offset=0, message="m"
+        )
+
+
+def test_diagnostic_round_trip():
+    diagnostic = StaticDiagnostic(
+        rule="dead-register-write",
+        severity="info",
+        function="kern",
+        offset=0x20,
+        line=14,
+        message="R5 is written but never read afterwards",
+        details={"register": 5},
+    )
+    payload = diagnostic.to_dict()
+    assert payload["schema_version"] == API_SCHEMA_VERSION
+    assert payload["kind"] == "static_diagnostic"
+    twin = StaticDiagnostic.from_dict(payload)
+    assert twin == diagnostic
+    assert "line 14" in diagnostic.describe()
+
+
+def test_report_envelope_and_round_trip(report):
+    payload = report.to_dict()
+    assert payload["schema_version"] == API_SCHEMA_VERSION
+    assert payload["kind"] == "static_report"
+    twin = StaticReport.from_dict(payload)
+    assert twin == report
+    # dump -> load -> dump is a byte-stable fixed point.
+    assert StaticReport.from_json(report.to_json()).to_json() == report.to_json()
+
+
+def test_json_is_canonical(report):
+    text = report.to_json()
+    assert text.endswith("\n")
+    assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+
+def test_loader_rejects_wrong_kind(report):
+    diagnostic_payload = report.diagnostics[0].to_dict()
+    with pytest.raises(ApiSchemaError, match="static_report"):
+        StaticReport.from_dict(diagnostic_payload)
+
+
+def test_loader_rejects_wrong_version(report):
+    payload = report.to_dict()
+    payload["schema_version"] = API_SCHEMA_VERSION - 1
+    with pytest.raises(ApiSchemaError, match="schema version"):
+        StaticReport.from_dict(payload)
+
+
+def test_loader_rejects_missing_field(report):
+    payload = report.to_dict()
+    del payload["kernel"]
+    with pytest.raises(ApiSchemaError, match="kernel"):
+        StaticReport.from_dict(payload)
+
+
+def test_loader_rejects_non_dict():
+    with pytest.raises(ApiSchemaError, match="static_report"):
+        StaticReport.from_dict(["not", "a", "dict"])
+
+
+def test_counts_and_lookups(report):
+    counts = report.counts_by_severity()
+    assert counts["error"] == 1
+    assert counts["info"] == 1
+    assert counts["warning"] == 0
+    assert len(report.diagnostics_for("barrier-divergence")) == 1
+    assert report.function_lint("kern").is_kernel is True
+    with pytest.raises(KeyError):
+        report.function_lint("nope")
+
+
+def test_case_id_carried(report):
+    assert report.case_id == "synthetic/case"
+    assert StaticReport.from_json(report.to_json()).case_id == "synthetic/case"
+
+
+def test_render_text(report):
+    text = render_static_report(report)
+    assert "Static lint report for synthetic/case" in text
+    assert "barrier-divergence" in text
+    assert "kernel kern" in text
+    assert "1 error" in text

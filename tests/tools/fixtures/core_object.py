@@ -1,0 +1,34 @@
+# Minimal object-style core for the lockstep-linter tests.  Never imported,
+# only AST-parsed: names like StallReason/hierarchy are intentionally free.
+import heapq
+
+
+def simulate():
+    barrier_dirty = False
+    pending_memory = []
+
+    def check(warp, now, commit=True):
+        nonlocal barrier_dirty
+        if warp.finished:
+            return False, StallReason.IDLE, 0
+        if now < warp.ready_cycle:
+            return False, StallReason.EXECUTION_DEPENDENCY, warp.ready_cycle
+        if warp.is_bar:
+            if commit and not warp.sync_arrived:
+                warp.sync_arrived = True
+                barrier_dirty = True
+            return False, StallReason.SYNCHRONIZATION, 0
+        if warp.is_throttled_memory:
+            recheck = hierarchy.backpressure(now, commit=commit)
+            if recheck is not None:
+                return False, StallReason.MEMORY_THROTTLE, recheck
+            if commit:
+                while pending_memory and pending_memory[0] <= now:
+                    heapq.heappop(pending_memory)
+        return True, StallReason.SELECTED, now
+
+    def record_sample(scheduler, now):
+        ok, reason, recheck = check(scheduler, now, commit=False)
+        return reason
+
+    return check, record_sample

@@ -1,0 +1,47 @@
+# Minimal array-style core for the lockstep-linter tests.  Never imported,
+# only AST-parsed: names like StallReason/hierarchy are intentionally free.
+import heapq
+
+_F_BAR = 1
+_F_THROTTLE = 2
+
+
+def _pack_warp(op):
+    flags = 0
+    if op.is_bar:
+        flags |= _F_BAR
+    if op.is_throttled_memory:
+        flags |= _F_THROTTLE
+    return (flags,)
+
+
+def simulate():
+    barrier_dirty = False
+    pending_memory = []
+
+    def check(w, now, commit=True):
+        nonlocal barrier_dirty
+        if finished[w]:
+            return False, StallReason.IDLE, 0
+        if now < ready_cycle[w]:
+            return False, StallReason.EXECUTION_DEPENDENCY, ready_cycle[w]
+        flags = recs[w][0]
+        if flags & _F_BAR:
+            if commit and not sync_arrived[w]:
+                sync_arrived[w] = True
+                barrier_dirty = True
+            return False, StallReason.SYNCHRONIZATION, 0
+        if flags & _F_THROTTLE:
+            recheck = hierarchy.backpressure(now, commit=commit)
+            if recheck is not None:
+                return False, StallReason.MEMORY_THROTTLE, recheck
+            if commit:
+                while pending_memory and pending_memory[0] <= now:
+                    heapq.heappop(pending_memory)
+        return True, StallReason.SELECTED, now
+
+    def record_sample(scheduler, now):
+        ok, reason, recheck = check(scheduler, now, commit=False)
+        return reason
+
+    return check, record_sample

@@ -1,0 +1,122 @@
+"""The simulator-core lockstep linter (``tools/lint_core_lockstep.py``).
+
+The positive case runs the linter against the real in-tree cores — the same
+invocation CI's lint job makes — and the negative fixtures prove each check
+actually fires: a stall reason added to only one core, an unguarded state
+mutation on the sampler's observe path, a dead ``_F_*`` flag, and a
+``record_sample`` that forgets ``commit=False``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+_spec = importlib.util.spec_from_file_location(
+    "lint_core_lockstep", REPO_ROOT / "tools" / "lint_core_lockstep.py"
+)
+lockstep = importlib.util.module_from_spec(_spec)
+# Dataclass processing looks the module up in sys.modules.
+sys.modules["lint_core_lockstep"] = lockstep
+_spec.loader.exec_module(lockstep)
+
+
+def _problems(object_name: str, vector_name: str):
+    return lockstep.compare_cores(
+        lockstep.summarize_core(FIXTURES / object_name),
+        lockstep.summarize_core(FIXTURES / vector_name),
+    )
+
+
+def test_real_cores_are_in_lockstep(capsys):
+    assert lockstep.main([]) == 0
+    out = capsys.readouterr().out
+    assert "agree" in out
+
+
+def test_real_cores_reference_all_stall_reasons():
+    from repro.sampling.stall_reasons import StallReason
+
+    summary = lockstep.summarize_core(
+        REPO_ROOT / "src" / "repro" / "sampling" / "simulator.py"
+    )
+    # Every referenced name is a real StallReason member (no typos), and the
+    # scheduler-facing members are all present.
+    members = {member.name for member in StallReason}
+    assert summary.stall_reasons <= members
+    assert {"SELECTED", "IDLE", "EXECUTION_DEPENDENCY", "SYNCHRONIZATION",
+            "MEMORY_THROTTLE", "INSTRUCTION_FETCH"} <= summary.stall_reasons
+
+
+def test_fixture_pair_is_clean():
+    assert _problems("core_object.py", "core_vector.py") == []
+
+
+def test_one_sided_stall_reason_fails():
+    problems = _problems("core_object.py", "core_vector_extra_reason.py")
+    assert any(
+        "stall reasons only in core_vector_extra_reason.py" in problem
+        and "LG_THROTTLE" in problem
+        for problem in problems
+    )
+
+
+def test_unguarded_mutation_fails():
+    problems = _problems("core_object.py", "core_vector_impure.py")
+    mutations = [p for p in problems if "outside a commit guard" in p]
+    assert mutations, problems
+    # Both the subscript store and the nonlocal write are caught.
+    assert any("sync_arrived" in p for p in mutations)
+    assert any("barrier_dirty" in p for p in mutations)
+
+
+def test_dead_flag_fails():
+    problems = _problems("core_object.py", "core_vector_dead_flag.py")
+    assert any(
+        "neither check() nor issue() consults" in problem and "_F_FETCH" in problem
+        for problem in problems
+    )
+
+
+def test_committing_sampler_probe_fails():
+    problems = _problems("core_object_no_probe.py", "core_vector.py")
+    assert any(
+        "record_sample() never probes" in problem
+        and "core_object_no_probe.py" in problem
+        for problem in problems
+    )
+
+
+def test_cli_fails_on_drifted_pair(capsys):
+    code = lockstep.main(
+        [
+            str(FIXTURES / "core_object.py"),
+            str(FIXTURES / "core_vector_extra_reason.py"),
+        ]
+    )
+    assert code == 1
+    assert "problem(s) found" in capsys.readouterr().out
+
+
+def test_cli_usage_error():
+    assert lockstep.main(["only-one-arg.py"]) == 2
+
+
+@pytest.mark.parametrize(
+    "guard, expected",
+    [
+        ("commit", True),
+        ("commit and not arrived", True),
+        ("not commit", False),
+        ("other_flag", False),
+    ],
+)
+def test_commit_guard_detection(guard, expected):
+    import ast
+
+    test = ast.parse(guard, mode="eval").body
+    assert lockstep._is_commit_guard(test) is expected
