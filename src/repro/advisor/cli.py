@@ -36,6 +36,11 @@ builds an :class:`~repro.api.session.AdvisingSession`, describes the work as
    # or the full registry as the golden-report JSON layout.
    gpa-advise lint --case rodinia/nw:warp_balance
    gpa-advise lint --all --output json --output-dir lint-reports
+
+   # Lint real disassembly: one nvdisasm/cuobjdump listing, or the committed
+   # SASS corpus in the golden-report layout CI byte-diffs.
+   gpa-advise lint --sass kernel.sass
+   gpa-advise lint --sass-corpus --output json --output-dir sass-lint-reports
 """
 
 from __future__ import annotations
@@ -559,17 +564,30 @@ def _build_lint_parser() -> argparse.ArgumentParser:
                         help="with --all: only lint the first N cases")
     parser.add_argument("--optimized", action="store_true",
                         help="lint the case's optimized variant instead of the baseline")
+    parser.add_argument("--sass", metavar="FILE",
+                        help="lint a real nvdisasm/cuobjdump disassembly "
+                             "listing instead of a registry case (ingested "
+                             "through repro.sass; unknown opcodes degrade to "
+                             "conservative diagnostics, never a crash)")
+    parser.add_argument("--sass-corpus", metavar="DIR", nargs="?", const="",
+                        default=None,
+                        help="lint every listing in the committed SASS corpus "
+                             "manifest (repro.sass.corpus); DIR overrides the "
+                             "default tests/sass/corpus directory")
     parser.add_argument("--arch", choices=architecture_flags(), default=None,
-                        help="retarget the binary to another architecture")
+                        help="retarget the binary to another architecture "
+                             "(with --sass: the fallback when the listing "
+                             "does not declare one)")
     parser.add_argument("--strict-arch", action="store_true",
                         help="fail instead of falling back when the binary's "
                              "architecture flag is unknown")
     parser.add_argument("--output", choices=("text", "json"), default="text",
                         help="report format (default text)")
     parser.add_argument("--output-dir", metavar="DIR", default=None,
-                        help="with --all --output json: write one "
-                             "<case>.json per case into DIR (the layout CI's "
-                             "lint-smoke job diffs against the golden reports)")
+                        help="with --all or --sass-corpus and --output json: "
+                             "write one <case>.json per case into DIR (the "
+                             "layout CI's lint-smoke job diffs against the "
+                             "golden reports)")
     parser.add_argument("--crosscheck", action="store_true",
                         help="with --case --output text: also run the dynamic "
                              "advisor and print the static cross-check "
@@ -580,6 +598,73 @@ def _build_lint_parser() -> argparse.ArgumentParser:
 def _lint_slug(case_id: str) -> str:
     """Filesystem-safe golden-report name of one case id."""
     return case_id.replace("/", "__").replace(":", "__")
+
+
+def _lint_sass_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``--sass`` / ``--sass-corpus`` scopes of ``gpa-advise lint``.
+
+    Real disassembly never goes through the registry: ``--sass FILE`` ingests
+    one listing, ``--sass-corpus`` sweeps the committed corpus manifest and —
+    with ``--output json --output-dir`` — reproduces the golden-report layout
+    CI byte-diffs against.
+    """
+    from repro.sass.corpus import SASS_CORPUS, lint_corpus_case
+    from repro.sass.lint import lint_file
+    from repro.staticcheck.report import render_static_report
+
+    if args.sass:
+        try:
+            report = lint_file(args.sass, default_arch=args.arch or "sm_70")
+        except OSError as exc:
+            print(f"gpa-advise lint: cannot read {args.sass}: {exc}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"gpa-advise lint: {args.sass}: {exc}", file=sys.stderr)
+            return 1
+        if args.output == "json":
+            sys.stdout.write(report.to_json())
+        else:
+            print(render_static_report(report))
+            if report.ingest:
+                print(
+                    f"Ingest: {report.ingest['decoded']}/{report.ingest['total']} "
+                    f"instructions decoded (coverage "
+                    f"{report.ingest['coverage']:.2%}, "
+                    f"dialect {report.ingest['dialect']})"
+                )
+        return 0
+
+    directory = args.sass_corpus or None
+    try:
+        reports = [
+            (case, lint_corpus_case(case, directory)) for case in SASS_CORPUS
+        ]
+    except (OSError, ValueError) as exc:
+        print(f"gpa-advise lint: {exc}", file=sys.stderr)
+        return 1
+    if args.output_dir is not None:
+        out_dir = Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for case, report in reports:
+            (out_dir / f"{case.golden_name}.json").write_text(report.to_json())
+        print(f"wrote {len(reports)} SASS lint reports to {out_dir}", file=sys.stderr)
+    elif args.output == "json":
+        document = {case.case_id: report.to_dict() for case, report in reports}
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for _case, report in reports:
+            print(render_static_report(report))
+        totals = {"info": 0, "warning": 0, "error": 0}
+        for _case, report in reports:
+            for severity, count in report.counts_by_severity().items():
+                totals[severity] += count
+        coverage = min(report.ingest["coverage"] for _case, report in reports)
+        print(
+            f"Linted {len(reports)} SASS listings "
+            f"(worst decode coverage {coverage:.2%}): "
+            + ", ".join(f"{count} {severity}" for severity, count in totals.items())
+        )
+    return 0
 
 
 def _lint_main(argv: List[str]) -> int:
@@ -594,18 +679,31 @@ def _lint_main(argv: List[str]) -> int:
         for name in case_names():
             print(name)
         return 0
-    if args.all and args.case:
-        parser.error("--case cannot be combined with --all (pick one scope)")
-    if not args.all and not args.case:
-        parser.error("nothing to do: pass --case, --all or --list")
+    scopes = sum(
+        bool(flag)
+        for flag in (args.case, args.all, args.sass, args.sass_corpus is not None)
+    )
+    if scopes > 1:
+        parser.error(
+            "--case, --all, --sass and --sass-corpus are mutually exclusive "
+            "(pick one scope)"
+        )
+    if scopes == 0:
+        parser.error("nothing to do: pass --case, --all, --sass, --sass-corpus or --list")
     if args.limit is not None and not args.all:
         parser.error("--limit only applies to --all sweeps")
     if args.limit is not None and args.limit < 0:
         parser.error("--limit must be non-negative")
-    if args.output_dir is not None and not (args.all and args.output == "json"):
-        parser.error("--output-dir requires --all --output json")
-    if args.crosscheck and (args.all or args.output != "text"):
+    if args.output_dir is not None and not (
+        (args.all or args.sass_corpus is not None) and args.output == "json"
+    ):
+        parser.error("--output-dir requires --all or --sass-corpus with --output json")
+    if args.crosscheck and (not args.case or args.output != "text"):
         parser.error("--crosscheck requires --case --output text")
+    if args.optimized and (args.sass or args.sass_corpus is not None):
+        parser.error("--optimized only applies to registry cases")
+    if args.sass or args.sass_corpus is not None:
+        return _lint_sass_main(args, parser)
     if args.case:
         try:
             case_by_name(args.case)

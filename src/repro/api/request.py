@@ -307,6 +307,42 @@ class RequestBuilder:
         self._fields.update(profile=profile, cubin=cubin)
         return self
 
+    def sass_listing(
+        self,
+        text: str,
+        kernel: Optional[str] = None,
+        config: Optional[LaunchConfig] = None,
+        workload: Optional[WorkloadSpec] = None,
+        source_name: str = "<sass>",
+        default_arch: str = "sm_70",
+    ) -> "RequestBuilder":
+        """Describe the job from raw ``nvdisasm``/``cuobjdump`` disassembly.
+
+        The listing is ingested through :mod:`repro.sass` into a ``binary``
+        source; ``kernel`` defaults to the listing's only function (ambiguous
+        listings must name one), ``config`` to a single 128-thread block —
+        enough for linting, while advising runs usually pass a real launch.
+        """
+        # Imported lazily: `import repro.api` must not pull the SASS frontend.
+        from repro.sass.frontend import ingest_listing
+
+        cubin, _ingest = ingest_listing(
+            text, source_name=source_name, default_arch=default_arch
+        )
+        if kernel is None:
+            if len(cubin.functions) != 1:
+                raise ApiValidationError(
+                    f"listing {source_name!r} defines "
+                    f"{sorted(cubin.functions)}; pass kernel= to pick one"
+                )
+            (kernel,) = cubin.functions
+        return self.binary(
+            cubin,
+            kernel,
+            config or LaunchConfig(grid_blocks=1, threads_per_block=128),
+            workload,
+        ).label(source_name)
+
     # -- knobs ---------------------------------------------------------
     def arch(self, arch_flag: str) -> "RequestBuilder":
         self._fields["arch_flag"] = arch_flag

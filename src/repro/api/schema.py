@@ -42,7 +42,14 @@ from typing import Any
 #:    (:mod:`repro.staticcheck.report`).  Existing payload shapes are
 #:    unchanged; the bump exists so a version-5 consumer can rely on the
 #:    new kinds being understood end-to-end.
-API_SCHEMA_VERSION = 5
+#: 6. Static reports carry an ``ingest`` field: the coverage ledger of the
+#:    real-SASS frontend (:mod:`repro.sass`) when the linted binary was
+#:    lowered from an ``nvdisasm``/``cuobjdump`` listing (``null`` for
+#:    binaries built in-repo).  The ``unknown-opcode`` lint rule ships with
+#:    it, and serialized CUBIN functions may carry a ``"sass"`` raw-listing
+#:    section in place of ``"code"`` when their operands do not fit the
+#:    fixed-width encoding.
+API_SCHEMA_VERSION = 6
 
 
 class ApiError(Exception):

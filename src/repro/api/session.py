@@ -233,6 +233,7 @@ class AdvisingSession:
         """
         # Imported lazily: sessions that never lint shouldn't pay for the
         # static-analysis layer at import time.
+        from repro.sass.lint import cubin_ingest_ledger
         from repro.staticcheck.engine import StaticChecker
 
         if request.source == "profile":
@@ -248,7 +249,15 @@ class AdvisingSession:
         )
         case_id = request.case_id if request.source == "case" else None
         return checker.check(
-            cubin, kernel=kernel, config=config, workload=workload, case_id=case_id
+            cubin,
+            kernel=kernel,
+            config=config,
+            workload=workload,
+            case_id=case_id,
+            # Binaries ingested from real disassembly (``sass_listing()``
+            # requests) carry their listings; reconstruct the coverage
+            # ledger so session lints match ``lint_listing`` output.
+            ingest=cubin_ingest_ledger(cubin),
         )
 
     def analyze(self, profile: KernelProfile, structure: ProgramStructure) -> AdviceReport:

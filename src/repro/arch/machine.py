@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.isa.opcodes import OPCODES, OpcodeInfo, lookup_opcode
+from repro.isa.opcodes import OPCODES, OpcodeInfo, lookup_opcode_tolerant
 
 
 class ArchitectureError(KeyError):
@@ -115,8 +115,13 @@ class GpuArchitecture:
     # Latency queries (used by the pruning rules and the simulator)
     # ------------------------------------------------------------------
     def opcode_info(self, opcode: str) -> OpcodeInfo:
-        """Metadata for ``opcode`` from the shared catalog."""
-        return lookup_opcode(opcode)
+        """Metadata for ``opcode`` from the shared catalog.
+
+        Opcodes outside the catalog (instructions ingested from real
+        disassembly) resolve to conservative unknown-op metadata so latency
+        queries never raise mid-analysis.
+        """
+        return lookup_opcode_tolerant(opcode)
 
     def latency(self, opcode: str) -> int:
         """Typical completion latency of ``opcode`` on this architecture."""
@@ -125,7 +130,7 @@ class GpuArchitecture:
             return self.latency_overrides[opcode]
         if base in self.latency_overrides:
             return self.latency_overrides[base]
-        return lookup_opcode(opcode).latency
+        return lookup_opcode_tolerant(opcode).latency
 
     def latency_upper_bound(self, opcode: str) -> int:
         """Upper-bound latency used by the latency-based pruning rule.
@@ -134,7 +139,7 @@ class GpuArchitecture:
         instructions and pessimistic bounds (e.g. a TLB miss) for variable
         latency instructions.
         """
-        info = lookup_opcode(opcode)
+        info = lookup_opcode_tolerant(opcode)
         if info.is_variable_latency:
             return info.latency_upper_bound
         return self.latency(opcode)

@@ -318,6 +318,10 @@ def build_cfg(instructions: Sequence[Instruction]) -> ControlFlowGraph:
                 add_edge(block.index, next_block.index)
             continue
         if terminator.is_exit:
+            # Real SASS commonly guards the exit (``@!P0 EXIT``): threads
+            # whose predicate fails fall through to the next block.
+            if terminator.is_predicated and next_block is not None:
+                add_edge(block.index, next_block.index)
             continue
         if terminator.is_branch:
             if terminator.target is not None and terminator.target in block_of_offset:

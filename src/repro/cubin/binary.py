@@ -76,6 +76,12 @@ class Function:
     inline_ranges: List[InlineRange] = field(default_factory=list)
     #: Source file most of this function maps to.
     source_file: Optional[str] = None
+    #: Raw disassembly text this function was ingested from, when it came
+    #: through the SASS frontend (:mod:`repro.sass`).  Real-SASS operands
+    #: (constant banks, uniform registers, unknown opcodes) do not fit the
+    #: fixed-width encoder, so serialization falls back to this text and
+    #: deserialization re-ingests it.
+    source_listing: Optional[str] = None
 
     @property
     def is_kernel(self) -> bool:
@@ -163,16 +169,27 @@ class Cubin:
 
         Code sections are stored as hex-encoded bytes of the fixed-width
         encoding; metadata (visibility, resources, line/inline info) is kept
-        alongside so :meth:`from_dict` can reconstruct the binary.
+        alongside so :meth:`from_dict` can reconstruct the binary.  Functions
+        ingested from real disassembly often use operands the fixed-width
+        encoding cannot express; those serialize their raw listing text
+        (``"sass"``) instead of a ``"code"`` section.
         """
+        from repro.isa.encoder import EncodingError
+
         payload = {"arch_flag": self.arch_flag, "module_name": self.module_name, "functions": {}}
         for name, function in self.functions.items():
+            try:
+                code = {"code": function.encode().hex()}
+            except EncodingError:
+                if function.source_listing is None:
+                    raise
+                code = {"sass": function.source_listing}
             payload["functions"][name] = {
                 "visibility": function.visibility.value,
                 "registers_per_thread": function.registers_per_thread,
                 "shared_memory_bytes": function.shared_memory_bytes,
                 "source_file": function.source_file,
-                "code": function.encode().hex(),
+                **code,
                 "base_offset": function.instructions[0].offset if function.instructions else 0,
                 "lines": [
                     [entry.offset, entry.file, entry.line] for entry in function.line_table()
@@ -196,8 +213,18 @@ class Cubin:
 
         cubin = cls(arch_flag=payload["arch_flag"], module_name=payload.get("module_name", "module.cubin"))
         for name, data in payload["functions"].items():
-            code = bytes.fromhex(data["code"])
-            instructions = decode_program(code, base_offset=data.get("base_offset", 0))
+            source_listing = data.get("sass")
+            if source_listing is not None:
+                # Re-ingest functions that serialized their raw listing.
+                from repro.sass.frontend import ingest_listing
+
+                ingested, _report = ingest_listing(
+                    source_listing, source_name=name, default_arch=payload["arch_flag"]
+                )
+                instructions = list(next(iter(ingested.functions.values())).instructions)
+            else:
+                code = bytes.fromhex(data["code"])
+                instructions = decode_program(code, base_offset=data.get("base_offset", 0))
             line_by_offset = {entry[0]: (entry[1], entry[2]) for entry in data.get("lines", [])}
             targets = {int(k): v for k, v in data.get("targets", {}).items()}
             restored = []
@@ -217,6 +244,7 @@ class Cubin:
                 registers_per_thread=data.get("registers_per_thread", 32),
                 shared_memory_bytes=data.get("shared_memory_bytes", 0),
                 source_file=data.get("source_file"),
+                source_listing=source_listing,
                 inline_ranges=[
                     InlineRange(r[0], r[1], r[2], r[3]) for r in data.get("inline_ranges", [])
                 ],

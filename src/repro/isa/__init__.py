@@ -19,12 +19,15 @@ the same inputs they would see on real hardware.
 
 from repro.isa.registers import (
     BarrierRegister,
+    ConstantOperand,
     ImmediateOperand,
     MemoryOperand,
     MemorySpace,
     Predicate,
     RegisterOperand,
     SpecialRegister,
+    UniformPredicate,
+    UniformRegister,
     ZERO_REGISTER_INDEX,
 )
 from repro.isa.opcodes import (
@@ -32,7 +35,10 @@ from repro.isa.opcodes import (
     LatencyClass,
     OpcodeInfo,
     OPCODES,
+    UNKNOWN_OPCODE_INFO,
     lookup_opcode,
+    lookup_opcode_tolerant,
+    opcode_is_known,
 )
 from repro.isa.instruction import ControlCode, Instruction
 from repro.isa.parser import ParseError, parse_instruction, parse_program
@@ -40,6 +46,7 @@ from repro.isa.encoder import decode_instruction, encode_instruction, INSTRUCTIO
 
 __all__ = [
     "BarrierRegister",
+    "ConstantOperand",
     "ControlCode",
     "ImmediateOperand",
     "Instruction",
@@ -54,10 +61,15 @@ __all__ = [
     "Predicate",
     "RegisterOperand",
     "SpecialRegister",
+    "UNKNOWN_OPCODE_INFO",
+    "UniformPredicate",
+    "UniformRegister",
     "ZERO_REGISTER_INDEX",
     "decode_instruction",
     "encode_instruction",
     "lookup_opcode",
+    "lookup_opcode_tolerant",
+    "opcode_is_known",
     "parse_instruction",
     "parse_program",
 ]

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import FrozenSet, Optional, Tuple
 
-from repro.isa.opcodes import OpcodeInfo, lookup_opcode
+from repro.isa.opcodes import OpcodeInfo, lookup_opcode_tolerant, opcode_is_known
 from repro.isa.registers import (
     ALWAYS,
     BarrierRegister,
@@ -123,8 +123,19 @@ class Instruction:
     # ------------------------------------------------------------------
     @cached_property
     def info(self) -> OpcodeInfo:
-        """Opcode metadata from the catalog."""
-        return lookup_opcode(self.full_opcode)
+        """Opcode metadata from the catalog.
+
+        Opcodes absent from the catalog (possible when the instruction was
+        ingested from a real disassembly listing) resolve to the
+        conservative :data:`~repro.isa.opcodes.UNKNOWN_OPCODE_INFO` rather
+        than raising; check :attr:`is_unknown_op` to distinguish them.
+        """
+        return lookup_opcode_tolerant(self.full_opcode)
+
+    @cached_property
+    def is_unknown_op(self) -> bool:
+        """Whether the opcode is absent from the catalog (conservative op)."""
+        return not opcode_is_known(self.full_opcode)
 
     @cached_property
     def full_opcode(self) -> str:
@@ -183,13 +194,17 @@ class Instruction:
     # ------------------------------------------------------------------
     @cached_property
     def defined_registers(self) -> FrozenSet[RegisterOperand]:
-        """General-purpose registers written by this instruction."""
+        """General-purpose registers written by this instruction.
+
+        Wide destinations expand to consecutive registers: ``.64`` results
+        (and fp64 arithmetic, ``IMAD.WIDE``) occupy a register pair, ``.128``
+        vector loads occupy four registers.
+        """
         regs = set()
+        width = self._dest_width()
         for operand in self.dests:
             if isinstance(operand, RegisterOperand) and not operand.is_zero:
-                regs.add(operand)
-                if self._writes_pair():
-                    regs.add(RegisterOperand(operand.index + 1))
+                regs.update(self._expand_register(operand, width))
             elif isinstance(operand, MemoryOperand):
                 # A store destination is memory, not a register def.
                 pass
@@ -201,12 +216,15 @@ class Instruction:
 
         A store's memory operand appears among the destinations for
         readability (``STG [R2], R0``), but its address registers are *reads*
-        and are therefore included here.
+        and are therefore included here.  Wide register sources expand like
+        wide destinations: fp64 arithmetic reads register pairs, and the
+        stored value of a ``.64``/``.128`` store spans two/four registers.
         """
         regs = set()
+        width = self._source_width()
         for operand in self.sources:
             if isinstance(operand, RegisterOperand) and not operand.is_zero:
-                regs.add(operand)
+                regs.update(self._expand_register(operand, width))
             elif isinstance(operand, MemoryOperand):
                 regs.update(operand.address_registers())
         for operand in self.dests:
@@ -244,13 +262,41 @@ class Instruction:
         """Virtual barrier registers waited on by this instruction."""
         return self.control.waited_barriers
 
-    def _writes_pair(self) -> bool:
-        """Whether the destination is a 64-bit register pair."""
+    @staticmethod
+    def _expand_register(operand: RegisterOperand, width: int):
+        """``operand`` plus the consecutive registers a ``width``-wide value
+        occupies (stopping at the register file boundary)."""
+        for step in range(width):
+            index = operand.index + step
+            if index >= 255:  # RZ and beyond: architectural discard
+                break
+            yield RegisterOperand(index)
+
+    def _dest_width(self) -> int:
+        """How many consecutive registers the destination occupies."""
+        if "128" in self.modifiers:
+            return 4
         if "64" in self.modifiers or self.opcode in ("DADD", "DMUL", "DFMA"):
-            return True
+            return 2
         if self.opcode == "IMAD" and "WIDE" in self.modifiers:
-            return True
-        return False
+            return 2
+        return 1
+
+    def _source_width(self) -> int:
+        """How many consecutive registers wide register *sources* span.
+
+        fp64 arithmetic reads register pairs; the value operand of a wide
+        store spans the store width.  ``IMAD.WIDE`` is excluded: it reads
+        32-bit sources and only its destination is wide.
+        """
+        if self.opcode in ("DADD", "DMUL", "DFMA", "DSETP"):
+            return 2
+        if self.is_store:
+            if "128" in self.modifiers:
+                return 4
+            if "64" in self.modifiers:
+                return 2
+        return 1
 
     # ------------------------------------------------------------------
     # Convenience

@@ -179,13 +179,43 @@ OPCODES: Dict[str, OpcodeInfo] = {
         _op("FLO", InstructionClass.INTEGER, _FIXED, 10, description="find leading one"),
         _op("BFE", InstructionClass.INTEGER, _FIXED, 4, description="bit field extract"),
         _op("BFI", InstructionClass.INTEGER, _FIXED, 4, description="bit field insert"),
+        _op("PRMT", InstructionClass.INTEGER, _FIXED, 4, description="byte permute"),
+        _op("SGXT", InstructionClass.INTEGER, _FIXED, 4, description="sign extend bit field"),
+        _op("BMSK", InstructionClass.INTEGER, _FIXED, 4, description="bit mask create"),
+        _op("BREV", InstructionClass.INTEGER, _FIXED, 4, description="bit reverse"),
+        _op("IADD32I", InstructionClass.INTEGER, _FIXED, 4, description="integer add 32-bit immediate"),
+        _op("LOP32I", InstructionClass.INTEGER, _FIXED, 4, description="logic op with 32-bit immediate"),
+        _op("ISCADD", InstructionClass.INTEGER, _FIXED, 4, description="scaled integer add"),
+        # --- uniform datapath (Turing+) ------------------------------------
+        _op("UMOV", InstructionClass.MOVE, _FIXED, 4, description="uniform register move"),
+        _op("USEL", InstructionClass.MOVE, _FIXED, 4, description="uniform predicated select"),
+        _op("UIADD3", InstructionClass.INTEGER, _FIXED, 4, description="uniform 3-input integer add"),
+        _op("ULOP3", InstructionClass.INTEGER, _FIXED, 4, description="uniform 3-input logic op"),
+        _op("ULEA", InstructionClass.INTEGER, _FIXED, 4, description="uniform load effective address"),
+        _op("USHF", InstructionClass.INTEGER, _FIXED, 4, description="uniform funnel shift"),
+        _op("UISETP", InstructionClass.PREDICATE_OP, _FIXED, 5, description="uniform integer compare to predicate"),
+        _op("ULDC", InstructionClass.MEMORY_LOAD, _VAR, 30, CONSTANT_MEMORY_UPPER_BOUND,
+            MemorySpace.CONSTANT, "uniform constant memory load"),
+        _op("R2UR", InstructionClass.MOVE, _FIXED, 5, description="register to uniform register"),
+        _op("VOTEU", InstructionClass.MOVE, _FIXED, 4, description="warp vote to uniform register"),
         # --- 32-bit floating point ---------------------------------------
         _op("FADD", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 add"),
         _op("FMUL", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 multiply"),
         _op("FFMA", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 fused multiply-add"),
         _op("FMNMX", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 min/max"),
         _op("FSET", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 compare to register"),
+        _op("FSEL", InstructionClass.FLOAT32, _FIXED, 4, description="fp32 predicated select"),
         _op("FCHK", InstructionClass.FLOAT32, _FIXED, 13, description="fp division range check"),
+        # --- packed 16-bit floating point ---------------------------------
+        _op("HADD2", InstructionClass.FLOAT32, _FIXED, 4, description="packed fp16 add"),
+        _op("HMUL2", InstructionClass.FLOAT32, _FIXED, 4, description="packed fp16 multiply"),
+        _op("HFMA2", InstructionClass.FLOAT32, _FIXED, 4, description="packed fp16 fused multiply-add"),
+        _op("HSET2", InstructionClass.FLOAT32, _FIXED, 4, description="packed fp16 compare to register"),
+        _op("HSETP2", InstructionClass.PREDICATE_OP, _FIXED, 5, description="packed fp16 compare to predicate"),
+        # --- tensor core ---------------------------------------------------
+        _op("HMMA", InstructionClass.FLOAT32, _FIXED, 16, description="tensor-core fp16 matrix multiply-accumulate"),
+        _op("IMMA", InstructionClass.INTEGER_LONG, _FIXED, 16, description="tensor-core integer matrix multiply-accumulate"),
+        _op("BMMA", InstructionClass.INTEGER_LONG, _FIXED, 16, description="tensor-core binary matrix multiply-accumulate"),
         # --- 64-bit floating point ---------------------------------------
         _op("DADD", InstructionClass.FLOAT64, _FIXED, 8, description="fp64 add"),
         _op("DMUL", InstructionClass.FLOAT64, _FIXED, 8, description="fp64 multiply"),
@@ -205,6 +235,7 @@ OPCODES: Dict[str, OpcodeInfo] = {
         _op("ISETP", InstructionClass.PREDICATE_OP, _FIXED, 5, description="integer compare to predicate"),
         _op("FSETP", InstructionClass.PREDICATE_OP, _FIXED, 5, description="fp32 compare to predicate"),
         _op("PSETP", InstructionClass.PREDICATE_OP, _FIXED, 5, description="predicate logic op"),
+        _op("PLOP3", InstructionClass.PREDICATE_OP, _FIXED, 5, description="3-input predicate logic op"),
         _op("P2R", InstructionClass.PREDICATE_OP, _FIXED, 4, description="predicates to register"),
         _op("R2P", InstructionClass.PREDICATE_OP, _FIXED, 4, description="register to predicates"),
         # --- data movement -------------------------------------------------
@@ -239,6 +270,10 @@ OPCODES: Dict[str, OpcodeInfo] = {
         # --- memory: shared --------------------------------------------------
         _op("LDS", InstructionClass.MEMORY_LOAD, _VAR, 25, SHARED_MEMORY_UPPER_BOUND,
             MemorySpace.SHARED, "shared memory load"),
+        _op("LDSM", InstructionClass.MEMORY_LOAD, _VAR, 25, SHARED_MEMORY_UPPER_BOUND,
+            MemorySpace.SHARED, "load matrix from shared memory (tensor-core feed)"),
+        _op("LDGSTS", InstructionClass.MEMORY_LOAD, _VAR, 400, GLOBAL_MEMORY_UPPER_BOUND,
+            MemorySpace.GLOBAL, "asynchronous global-to-shared copy (sm_80)"),
         _op("STS", InstructionClass.MEMORY_STORE, _VAR, 20, SHARED_MEMORY_UPPER_BOUND,
             MemorySpace.SHARED, "shared memory store"),
         _op("ATOMS", InstructionClass.MEMORY_LOAD, _VAR, 40, SHARED_MEMORY_UPPER_BOUND,
@@ -256,6 +291,7 @@ OPCODES: Dict[str, OpcodeInfo] = {
             "block-wide barrier (__syncthreads)"),
         _op("MEMBAR", InstructionClass.SYNC, _VAR, 30, 600, None, "memory fence"),
         _op("DEPBAR", InstructionClass.SYNC, _VAR, 10, 200, None, "dependency barrier"),
+        _op("WARPSYNC", InstructionClass.SYNC, _VAR, 20, 200, None, "warp-wide reconvergence sync"),
         # --- control flow ------------------------------------------------------
         _op("BRA", InstructionClass.CONTROL, _FIXED, 5, description="branch"),
         _op("BRX", InstructionClass.CONTROL, _FIXED, 5, description="indexed branch"),
@@ -268,8 +304,12 @@ OPCODES: Dict[str, OpcodeInfo] = {
         _op("BSYNC", InstructionClass.CONTROL, _FIXED, 4, description="branch reconvergence"),
         _op("SSY", InstructionClass.CONTROL, _FIXED, 4, description="set synchronization point"),
         _op("SYNC", InstructionClass.CONTROL, _FIXED, 4, description="reconverge"),
+        _op("BMOV", InstructionClass.CONTROL, _FIXED, 4, description="convergence barrier state move"),
+        _op("KILL", InstructionClass.CONTROL, _FIXED, 1, description="kill thread"),
         # --- nop ---------------------------------------------------------------
         _op("NOP", InstructionClass.NOP, _FIXED, 1, description="no operation"),
+        _op("YIELD", InstructionClass.NOP, _FIXED, 1, description="yield to another warp"),
+        _op("NANOSLEEP", InstructionClass.SPECIAL, _FIXED, 4, description="timed sleep hint"),
     ]
 }
 
@@ -287,6 +327,38 @@ def lookup_opcode(name: str) -> OpcodeInfo:
     if base in OPCODES:
         return OPCODES[base]
     raise KeyError(f"unknown opcode: {name!r}")
+
+
+#: Conservative metadata substituted for opcodes absent from the catalog.
+#: Real disassembly listings contain instructions we do not model (cache
+#: control, surface ops, new-architecture additions); analyses must keep
+#: working on the rest of the kernel, so unknown opcodes decode as a
+#: variable-latency special op with a pessimistic latency bound and no
+#: memory-space claim.
+UNKNOWN_OPCODE_INFO = OpcodeInfo(
+    name="<unknown>",
+    klass=InstructionClass.SPECIAL,
+    latency_class=LatencyClass.VARIABLE,
+    latency=30,
+    latency_upper_bound=GLOBAL_MEMORY_UPPER_BOUND,
+    description="opcode absent from the catalog (conservative defaults)",
+)
+
+
+def opcode_is_known(name: str) -> bool:
+    """Whether ``name`` (full mnemonic or base opcode) is in the catalog."""
+    return name in OPCODES or name.split(".", 1)[0] in OPCODES
+
+
+def lookup_opcode_tolerant(name: str) -> OpcodeInfo:
+    """Like :func:`lookup_opcode`, but unknown opcodes get conservative
+    :data:`UNKNOWN_OPCODE_INFO` instead of raising.  This is what
+    :attr:`repro.isa.instruction.Instruction.info` uses, so instruction
+    streams ingested from real disassembly never crash the analyses."""
+    try:
+        return lookup_opcode(name)
+    except KeyError:
+        return UNKNOWN_OPCODE_INFO
 
 
 #: Opcodes whose results are produced through the special function unit and

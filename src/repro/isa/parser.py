@@ -42,7 +42,58 @@ from repro.isa.registers import (
 
 
 class ParseError(ValueError):
-    """Raised when assembly text cannot be parsed."""
+    """Raised when assembly text cannot be parsed.
+
+    Carries best-effort source context so failures on multi-line listings
+    are actionable: ``source_name`` (file or listing name), ``line`` /
+    ``column`` (1-based position in that source) and ``token`` (the
+    offending token, when one is identifiable).  The rendered message is
+    prefixed ``name:line:column:`` when context is available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source_name: Optional[str] = None,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        token: Optional[str] = None,
+    ) -> None:
+        self.bare_message = message
+        self.source_name = source_name
+        self.line = line
+        self.column = column
+        self.token = token
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        prefix = ""
+        if self.source_name is not None or self.line is not None:
+            location = self.source_name if self.source_name is not None else "<asm>"
+            if self.line is not None:
+                location += f":{self.line}"
+                if self.column is not None:
+                    location += f":{self.column}"
+            prefix = f"{location}: "
+        return f"{prefix}{self.bare_message}"
+
+    def with_context(
+        self,
+        *,
+        source_name: Optional[str] = None,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        token: Optional[str] = None,
+    ) -> "ParseError":
+        """A copy of this error with missing context fields filled in."""
+        return ParseError(
+            self.bare_message,
+            source_name=self.source_name if self.source_name is not None else source_name,
+            line=self.line if self.line is not None else line,
+            column=self.column if self.column is not None else column,
+            token=self.token if self.token is not None else token,
+        )
 
 
 #: Opcodes whose first operand is a memory destination rather than a
@@ -70,7 +121,7 @@ _CONTROL_RE = re.compile(
     r"\[B(?P<wait>[0-5\-]+):W(?P<wbar>[0-5\-]):R(?P<rbar>[0-5\-]):S(?P<stall>\d+):(?P<yield>[Y\-])\]$"
 )
 _OFFSET_RE = re.compile(r"^/\*(?P<offset>[0-9a-fA-F]+)\*/\s*")
-_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_][A-Za-z0-9_.$]*):\s*$")
+_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_][A-Za-z0-9_.$]*):\s*(?P<rest>.*)$")
 _MEMORY_RE = re.compile(
     r"^\[(?P<base>RZ|R\d+)(?:\s*\+\s*(?P<offset>-?(?:0x[0-9a-fA-F]+|\d+)))?\]$"
 )
@@ -84,7 +135,7 @@ def _parse_operand(token: str, space: Optional[MemorySpace]) -> object:
     """Parse a single operand token."""
     token = token.strip()
     if not token:
-        raise ParseError("empty operand")
+        raise ParseError("empty operand", token=token)
     if token == "RZ":
         return RegisterOperand(ZERO_REGISTER_INDEX)
     if re.fullmatch(r"R\d+", token):
@@ -116,7 +167,7 @@ def _parse_operand(token: str, space: Optional[MemorySpace]) -> object:
         return ImmediateOperand(float(_parse_int(token)))
     if re.fullmatch(r"-?\d+\.\d*(?:[eE][-+]?\d+)?", token):
         return ImmediateOperand(float(token), is_double="." in token)
-    raise ParseError(f"cannot parse operand: {token!r}")
+    raise ParseError(f"cannot parse operand: {token!r}", token=token)
 
 
 def _parse_control(text: str) -> ControlCode:
@@ -161,13 +212,38 @@ def parse_instruction(
     offset: int = 0,
     labels: Optional[Dict[str, int]] = None,
     line: Optional[int] = None,
+    source_name: Optional[str] = None,
+    listing_line: Optional[int] = None,
 ) -> Instruction:
     """Parse a single instruction from assembly text.
 
     ``labels`` maps label names to instruction offsets so branch targets
     written symbolically can be resolved; unresolved symbolic targets raise
-    :class:`ParseError`.
+    :class:`ParseError`.  ``source_name`` and ``listing_line`` name where
+    the text came from; they are attached to any :class:`ParseError` (with
+    a best-effort column) so failures on multi-line listings are
+    actionable.  ``line`` is different: it is the *source-code* line the
+    instruction maps to (the line-table annotation).
     """
+    try:
+        return _parse_instruction(text, offset=offset, labels=labels, line=line)
+    except ParseError as exc:
+        column = None
+        if exc.token:
+            position = text.find(exc.token)
+            if position >= 0:
+                column = position + 1
+        raise exc.with_context(
+            source_name=source_name, line=listing_line, column=column
+        ) from None
+
+
+def _parse_instruction(
+    text: str,
+    offset: int = 0,
+    labels: Optional[Dict[str, int]] = None,
+    line: Optional[int] = None,
+) -> Instruction:
     original = text
     text = text.split(";")[0].strip() if ";" in text and "[" not in text.split(";")[1] else text.strip()
     if not text:
@@ -203,7 +279,7 @@ def parse_instruction(
     try:
         lookup_opcode(opcode)
     except KeyError as exc:
-        raise ParseError(str(exc)) from exc
+        raise ParseError(str(exc), token=opcode) from exc
 
     space = _MEMORY_SPACE_BY_OPCODE.get(opcode)
     operand_tokens = _split_operands(operand_text) if operand_text.strip() else []
@@ -220,7 +296,7 @@ def parse_instruction(
             elif re.fullmatch(r"-?(?:0x[0-9a-fA-F]+|\d+)", token):
                 target = _parse_int(token)
             else:
-                raise ParseError(f"unresolved branch target {token!r}")
+                raise ParseError(f"unresolved branch target {token!r}", token=token)
             operand_tokens = operand_tokens[1:]
         sources.extend(_parse_operand(tok, space) for tok in operand_tokens)
     else:
@@ -255,31 +331,43 @@ def parse_instruction(
     )
 
 
-def parse_program(text: str) -> List[Instruction]:
+def parse_program(text: str, source_name: Optional[str] = None) -> List[Instruction]:
     """Parse a multi-line assembly listing into a list of instructions.
 
-    Supports blank lines, ``#`` / ``//`` comments, labels (``NAME:``) and
-    symbolic branch targets.  Instructions are laid out at consecutive
-    16-byte offsets starting from 0.
+    Supports blank lines, ``#`` / ``//`` comments (full-line or trailing,
+    including between labeled blocks), labels (``NAME:`` on their own line
+    or ``NAME: INSTR`` inline) and symbolic branch targets.  Instructions
+    are laid out at consecutive 16-byte offsets starting from 0.
+
+    ``source_name`` names the listing in any :class:`ParseError`, which
+    also carries the 1-based line (and best-effort column) of the failure.
     """
     raw_lines = text.splitlines()
     # First pass: discover labels and instruction offsets.
     labels: Dict[str, int] = {}
-    instruction_lines: List[Tuple[str, int]] = []
+    instruction_lines: List[Tuple[str, int, int]] = []
     offset = 0
-    for raw in raw_lines:
+    for lineno, raw in enumerate(raw_lines, start=1):
         stripped = raw.split("#")[0].split("//")[0].strip()
-        if not stripped:
+        if not stripped or stripped == ";":
             continue
         label_match = _LABEL_RE.match(stripped)
         if label_match:
             labels[label_match.group("label")] = offset
-            continue
-        instruction_lines.append((stripped, offset))
+            stripped = label_match.group("rest").strip()
+            if not stripped or stripped == ";":
+                continue
+        instruction_lines.append((stripped, offset, lineno))
         offset += INSTRUCTION_SIZE
 
     instructions = [
-        parse_instruction(line_text, offset=line_offset, labels=labels)
-        for line_text, line_offset in instruction_lines
+        parse_instruction(
+            line_text,
+            offset=line_offset,
+            labels=labels,
+            source_name=source_name,
+            listing_line=lineno,
+        )
+        for line_text, line_offset, lineno in instruction_lines
     ]
     return instructions

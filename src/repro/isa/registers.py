@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 #: Index of the architectural zero register ``RZ``.
 ZERO_REGISTER_INDEX = 255
@@ -36,6 +36,9 @@ TRUE_PREDICATE_INDEX = 7
 
 #: Number of virtual barrier registers (B0-B5).
 NUM_BARRIERS = 6
+
+#: Index of the uniform-datapath zero register ``URZ`` (Turing+).
+UNIFORM_ZERO_REGISTER_INDEX = 63
 
 
 class MemorySpace(enum.Enum):
@@ -138,6 +141,73 @@ class BarrierRegister:
         return f"B{self.index}"
 
 
+@dataclass(frozen=True, order=True)
+class UniformRegister:
+    """A uniform-datapath register ``UR<index>`` (Turing and later).
+
+    Uniform registers hold warp-invariant values computed on the scalar
+    datapath; ``UR63``/``URZ`` always reads 0.  They are disjoint from the
+    per-thread general-purpose registers, so they do not participate in the
+    GPR liveness/pressure analyses — the frontend carries them so real-SASS
+    operands survive round trips, nothing more.
+    """
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= UNIFORM_ZERO_REGISTER_INDEX:
+            raise ValueError(f"uniform register index out of range: {self.index}")
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this is the hard-wired zero register ``URZ``."""
+        return self.index == UNIFORM_ZERO_REGISTER_INDEX
+
+    def __str__(self) -> str:
+        return "URZ" if self.is_zero else f"UR{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class UniformPredicate:
+    """A uniform predicate register ``UP<index>`` (Turing and later).
+
+    ``UP7``/``UPT`` is the constant-true uniform predicate.  Like
+    :class:`UniformRegister`, these are carried for fidelity only and are
+    invisible to the per-thread predicate analyses.
+    """
+
+    index: int
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= TRUE_PREDICATE_INDEX:
+            raise ValueError(f"uniform predicate index out of range: {self.index}")
+
+    @property
+    def is_true_predicate(self) -> bool:
+        return self.index == TRUE_PREDICATE_INDEX and not self.negated
+
+    def __str__(self) -> str:
+        name = "UPT" if self.index == TRUE_PREDICATE_INDEX else f"UP{self.index}"
+        return f"!{name}" if self.negated else name
+
+
+@dataclass(frozen=True, order=True)
+class ConstantOperand:
+    """A constant-bank operand ``c[bank][offset]``.
+
+    Real SASS reads kernel parameters and driver state through constant
+    banks (``c[0x0][0x160]`` is typically the first kernel argument on
+    Volta).  Constant reads contribute no general-purpose register uses.
+    """
+
+    bank: int
+    offset: int
+
+    def __str__(self) -> str:
+        return f"c[{self.bank:#x}][{self.offset:#x}]"
+
+
 @dataclass(frozen=True)
 class ImmediateOperand:
     """A literal constant operand.
@@ -174,11 +244,15 @@ class MemoryOperand:
     ``base`` is the first register of the address.  For 64-bit address spaces
     (global, local, generic) the address occupies the register pair
     ``(base, base + 1)``; shared and constant memory use 32-bit addresses.
+    Turing+ SASS may add a uniform register to the address
+    (``[R2.64+UR4+0x10]``); the uniform term is warp-invariant and does not
+    contribute a per-thread register use.
     """
 
     base: RegisterOperand
     offset: int = 0
     space: MemorySpace = MemorySpace.GLOBAL
+    uniform_base: Optional[UniformRegister] = None
 
     def address_registers(self) -> Tuple[RegisterOperand, ...]:
         """Registers read to form the address."""
@@ -190,6 +264,8 @@ class MemoryOperand:
 
     def __str__(self) -> str:
         inner = str(self.base)
+        if self.uniform_base is not None:
+            inner += f"+{self.uniform_base}"
         if self.offset:
             inner += f"+{self.offset:#x}"
         return f"[{inner}]"

@@ -114,8 +114,14 @@ class StaticChecker:
         config: Optional[LaunchConfig] = None,
         workload: Optional[WorkloadSpec] = None,
         case_id: Optional[str] = None,
+        ingest: Optional[dict] = None,
     ) -> StaticReport:
-        """Lint every function of ``cubin``; ``kernel`` names the launched one."""
+        """Lint every function of ``cubin``; ``kernel`` names the launched one.
+
+        ``ingest`` is the wire form of a :class:`repro.sass.IngestReport`
+        when the binary was lowered from a real disassembly listing; it is
+        carried on the report verbatim.
+        """
         analysis = self.analyzer.analyze(cubin)
         architecture = analysis.architecture
         kernel_name = kernel or next(iter(cubin.functions))
@@ -125,6 +131,7 @@ class StaticChecker:
             arch_flag=cubin.arch_flag,
             case_id=case_id,
             architecture_fallback=analysis.architecture_fallback,
+            ingest=ingest,
         )
 
         for name in sorted(analysis.structure.functions):

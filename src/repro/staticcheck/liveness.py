@@ -41,6 +41,19 @@ def defined_register_indices(instruction: Instruction) -> FrozenSet[int]:
     )
 
 
+def may_write_only(instruction: Instruction) -> bool:
+    """Whether the instruction's register writes are *may*-writes.
+
+    Two cases: a predicated write only happens for threads whose guard
+    holds, and an instruction whose opcode is absent from the catalog
+    (real-disassembly ingestion) has unknown semantics — we know which
+    registers it *declares* but not whether it always writes them.  Both
+    must neither kill earlier definitions nor count as dead writes, or the
+    analyses would claim more than they know.
+    """
+    return instruction.is_predicated or instruction.is_unknown_op
+
+
 # ----------------------------------------------------------------------
 # Liveness
 # ----------------------------------------------------------------------
@@ -61,7 +74,7 @@ class LivenessProblem(DataflowProblem):
         defs: set = set()
         for instruction in block.instructions:
             uses.update(used_register_indices(instruction) - defs)
-            if not instruction.is_predicated:
+            if not may_write_only(instruction):
                 defs.update(defined_register_indices(instruction))
         summary = (frozenset(uses), frozenset(defs))
         self._summaries[block.index] = summary
@@ -119,7 +132,7 @@ def analyze_liveness(cfg: ControlFlowGraph) -> LivenessAnalysis:
         # Walk the block backwards, maintaining the live set per point.
         for instruction in reversed(block.instructions):
             defs = defined_register_indices(instruction)
-            if defs and not instruction.is_predicated:
+            if defs and not may_write_only(instruction):
                 dead = defs - live
                 for register in sorted(dead):
                     dead_writes.append(
@@ -176,7 +189,7 @@ class ReachingDefinitionsProblem(DataflowProblem):
             defs = defined_register_indices(instruction)
             if not defs:
                 continue
-            if not instruction.is_predicated:
+            if not may_write_only(instruction):
                 current = {
                     definition for definition in current if definition.register not in defs
                 }

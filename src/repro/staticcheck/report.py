@@ -152,6 +152,11 @@ class StaticReport:
     case_id: Optional[str] = None
     #: The unknown architecture flag the analyzer fell back from, if any.
     architecture_fallback: Optional[str] = None
+    #: Ingestion coverage when the binary came from a real disassembly
+    #: listing (the wire form of :class:`repro.sass.IngestReport`): decoded
+    #: vs. total instructions, unknown opcodes/modifiers, dialect.  ``None``
+    #: for binaries built in-repo.  Added in schema version 6.
+    ingest: Optional[dict] = None
 
     def counts_by_severity(self) -> Dict[str, int]:
         counts = {severity: 0 for severity in SEVERITIES}
@@ -181,6 +186,7 @@ class StaticReport:
                 "architecture_fallback": self.architecture_fallback,
                 "functions": [entry.to_dict() for entry in self.functions],
                 "diagnostics": [diagnostic.to_dict() for diagnostic in self.diagnostics],
+                "ingest": canonical_json(self.ingest, "ingest coverage"),
             },
         )
 
@@ -192,6 +198,7 @@ class StaticReport:
             arch_flag=require_key(payload, "arch_flag", "static_report"),
             case_id=payload.get("case_id"),
             architecture_fallback=payload.get("architecture_fallback"),
+            ingest=payload.get("ingest"),
             functions=[
                 FunctionLint.from_dict(entry)
                 for entry in require_key(payload, "functions", "static_report")
@@ -222,6 +229,12 @@ def render_static_report(report: StaticReport) -> str:
         lines.append(
             f"note: unknown architecture flag {report.architecture_fallback!r}; "
             "figures use the fallback architecture"
+        )
+    if report.ingest is not None:
+        lines.append(
+            f"ingest: {report.ingest.get('decoded')}/{report.ingest.get('total')} "
+            f"instructions decoded from a {report.ingest.get('dialect')} listing "
+            f"(coverage {report.ingest.get('coverage')})"
         )
     counts = report.counts_by_severity()
     lines.append(

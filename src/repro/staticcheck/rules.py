@@ -29,6 +29,7 @@ from repro.staticcheck.dataflow import FORWARD, DataflowProblem, solve_dataflow
 from repro.staticcheck.liveness import (
     LivenessAnalysis,
     defined_register_indices,
+    may_write_only,
     used_register_indices,
 )
 from repro.staticcheck.report import StaticDiagnostic
@@ -77,8 +78,10 @@ def _taint_step(instruction: Instruction, tainted: Set[object]) -> None:
     defs.extend(("p", predicate.index) for predicate in instruction.defined_predicates)
     if source_tainted or guard_tainted:
         tainted.update(defs)
-    elif not instruction.is_predicated:
+    elif not may_write_only(instruction):
         # An unconditional write of a uniform value launders the register.
+        # May-writes (predicated or unknown-opcode instructions) cannot
+        # launder: the old, possibly tainted value may survive.
         tainted.difference_update(defs)
 
 
@@ -418,6 +421,41 @@ class BankConflictRule(LintRule):
         return findings
 
 
+class UnknownOpcodeRule(LintRule):
+    """Instructions whose opcode is absent from the catalog.
+
+    These appear when a binary was ingested from a real disassembly
+    listing (``repro.sass``): the instruction is analyzed with
+    conservative unknown-op semantics (declared registers extracted,
+    writes treated as may-writes, pessimistic latency), which keeps the
+    other analyses sound but weakens their findings around it — so the
+    weak spot is surfaced rather than silently tolerated.
+    """
+
+    name = "unknown-opcode"
+    severity = "warning"
+
+    def run(self, context: LintContext) -> List[StaticDiagnostic]:
+        findings = []
+        for block in context.cfg.blocks:
+            for instruction in block.instructions:
+                if not instruction.is_unknown_op:
+                    continue
+                findings.append(
+                    self.diagnostic(
+                        context,
+                        offset=instruction.offset,
+                        line=instruction.line,
+                        message=(
+                            f"opcode {instruction.opcode} is not in the catalog; "
+                            "analyzed with conservative unknown-op semantics"
+                        ),
+                        details={"opcode": instruction.full_opcode},
+                    )
+                )
+        return findings
+
+
 #: The rule set the engine runs, in a stable order.
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     UnreachableBlockRule(),
@@ -426,6 +464,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     BarrierDivergenceRule(),
     UncoalescedStrideRule(),
     BankConflictRule(),
+    UnknownOpcodeRule(),
 )
 
 

@@ -117,3 +117,43 @@ class TestParseProgram:
     def test_duplicate_free_instruction_stream(self):
         program = parse_program("MOV R1, R2\nMOV R2, R3")
         assert program[0].offset != program[1].offset
+
+
+class TestParseErrorContext:
+    """ParseError carries file/line/column/token context (schema of the
+    rendered message: ``name:line:column: message``)."""
+
+    def test_program_error_names_source_line_and_token(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("MOV R0, RZ\nBOGUS R1, R2\n", source_name="k.asm")
+        error = excinfo.value
+        assert error.source_name == "k.asm"
+        assert error.line == 2
+        assert error.token == "BOGUS"
+        assert str(error).startswith("k.asm:2:")
+        assert "unknown opcode" in str(error)
+
+    def test_operand_error_carries_the_column(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_instruction("MOV R0, ???")
+        error = excinfo.value
+        assert error.token == "???"
+        assert error.column == len("MOV R0, ") + 1  # 1-based
+
+    def test_bare_message_survives_context_wrapping(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("WATNOW R1", source_name="x.asm")
+        error = excinfo.value
+        assert "WATNOW" in error.bare_message
+        assert not error.bare_message.startswith("x.asm")
+
+    def test_with_context_fills_only_missing_fields(self):
+        error = ParseError("boom", token="T")
+        enriched = error.with_context(source_name="f.asm", line=3, column=9, token="X")
+        assert enriched.source_name == "f.asm"
+        assert enriched.line == 3
+        assert enriched.column == 9
+        assert enriched.token == "T"  # existing context wins
+
+    def test_parse_error_is_a_value_error(self):
+        assert issubclass(ParseError, ValueError)

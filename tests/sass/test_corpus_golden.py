@@ -1,0 +1,93 @@
+"""The committed SASS corpus, pinned byte-for-byte.
+
+Mirrors ``tests/staticcheck/test_golden.py`` for real disassembly: CI's
+lint-smoke job regenerates these reports with ``gpa-advise lint
+--sass-corpus --output json --output-dir`` and diffs the directory against
+this tree, and ``tools/check_sass_corpus.py`` keeps listings, manifest and
+goldens in sync.  Any frontend or engine change that shifts a byte of any
+report must regenerate the goldens in the same commit.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.sass.corpus import (
+    SASS_CORPUS,
+    corpus_case_ids,
+    corpus_listing_path,
+    default_corpus_dir,
+    lint_corpus_case,
+    resolve_corpus_case,
+)
+from repro.sass.frontend import ingest_file
+from repro.staticcheck.report import StaticReport
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+CASE_IDS = list(corpus_case_ids())
+
+
+def test_corpus_has_at_least_eight_listings():
+    assert len(SASS_CORPUS) >= 8
+
+
+def test_every_case_has_a_listing_and_a_golden():
+    listings = {path.name for path in Path(default_corpus_dir()).glob("*.sass")}
+    goldens = {path.name for path in GOLDEN_DIR.glob("*.json")}
+    assert listings == {case.filename for case in SASS_CORPUS}
+    assert goldens == {f"{case.golden_name}.json" for case in SASS_CORPUS}
+
+
+def test_unknown_case_id_raises_with_inventory():
+    with pytest.raises(KeyError, match="sass/reduce_sum"):
+        resolve_corpus_case("sass/no_such_kernel:sm_90")
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+def test_decode_coverage_meets_the_floor(case_id):
+    case = resolve_corpus_case(case_id)
+    _cubin, ingest = ingest_file(
+        corpus_listing_path(case), default_arch=case.arch_flag
+    )
+    assert ingest.coverage >= 0.95
+    assert case.kernel in {f.name for f in ingest.functions}
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+def test_golden_report_is_byte_stable(case_id):
+    case = resolve_corpus_case(case_id)
+    report = lint_corpus_case(case)
+    golden = (GOLDEN_DIR / f"{case.golden_name}.json").read_text()
+    assert report.to_json() == golden
+    # The golden file itself must be loadable by the strict loader, and it
+    # carries the ingest ledger the corpus pins coverage through.
+    restored = StaticReport.from_json(golden)
+    assert restored.case_id == case_id
+    assert restored.ingest["coverage"] >= 0.95
+
+
+class TestSignatureDiagnostics:
+    """Each listing was authored to trip a specific rule on real SASS."""
+
+    @staticmethod
+    def _rules(case_id):
+        return {d.rule for d in lint_corpus_case(case_id).diagnostics}
+
+    def test_unknown_opcodes_degrade_to_a_diagnostic(self):
+        report = lint_corpus_case("sass/dotprod_unknown:sm_80")
+        unknown = [d for d in report.diagnostics if d.rule == "unknown-opcode"]
+        assert {d.details["opcode"] for d in unknown} == {"QSPC.E.S", "CCTL.IVALL"}
+        # The unknown in the loop body still decodes registers, so liveness
+        # ran to completion and produced the usual dataflow diagnostics.
+        assert "dead-register-write" in self._rules("sass/dotprod_unknown:sm_80")
+
+    def test_matmul_tile_column_read_conflicts_banks(self):
+        assert "bank-conflict" in self._rules("sass/matmul_tiled:sm_70")
+
+    def test_aos_strides_are_uncoalesced(self):
+        assert "uncoalesced-stride" in self._rules("sass/axpby_bare:sm_70")
+
+    def test_fully_decoded_listings_carry_no_unknown_opcode_diagnostic(self):
+        for case_id in ("sass/saxpy:sm_70", "sass/vecnorm:sm_80"):
+            assert "unknown-opcode" not in self._rules(case_id)

@@ -1,0 +1,158 @@
+"""Line stripping and instruction decoding (``repro.sass.decoder``)."""
+
+from repro.isa.registers import (
+    MemoryOperand,
+    MemorySpace,
+    Predicate,
+    RegisterOperand,
+)
+from repro.sass.decoder import decode_instruction, strip_line
+
+
+class TestStripLine:
+    def test_offset_comment_is_extracted(self):
+        stripped = strip_line("        /*0040*/ IADD3 R1, R1, R2, RZ ;")
+        assert stripped.offset == 0x40
+        assert stripped.text == "IADD3 R1, R1, R2, RZ"
+
+    def test_trailing_encoding_comment_is_dropped(self):
+        stripped = strip_line(
+            "/*0000*/ MOV R1, c[0x0][0x28] ;  /* 0x00000a00ff017624 */"
+        )
+        assert stripped.offset == 0
+        assert stripped.text == "MOV R1, c[0x0][0x28]"
+
+    def test_continuation_encoding_line_is_empty(self):
+        stripped = strip_line(
+            "                        /* 0x000fd000078e00ff */"
+        )
+        assert stripped.empty
+
+    def test_control_bracket_is_dropped(self):
+        stripped = strip_line("LDG.E R0, [R2] [B13:W0:R-:S1:Y] ;")
+        assert stripped.text == "LDG.E R0, [R2]"
+
+    def test_inline_line_comment_is_dropped(self):
+        stripped = strip_line("MOV R0, RZ ; // set accumulator")
+        assert stripped.text == "MOV R0, RZ"
+
+    def test_blank_line(self):
+        assert strip_line("   ").empty
+
+
+class TestGuards:
+    def test_predicated_instruction(self):
+        instruction = decode_instruction("@P0 EXIT", offset=0x50).instruction
+        assert instruction.predicate == Predicate(0)
+
+    def test_negated_guard(self):
+        instruction = decode_instruction("@!P2 BRA 0x40", offset=0).instruction
+        assert instruction.predicate == Predicate(2, negated=True)
+
+    def test_uniform_guard_maps_to_thread_predicate(self):
+        instruction = decode_instruction("@UP3 EXIT", offset=0).instruction
+        assert instruction.predicate == Predicate(3)
+
+    def test_bad_guard_is_undecodable(self):
+        assert decode_instruction("@XYZ EXIT", offset=0) is None
+
+    def test_non_opcode_text_is_undecodable(self):
+        assert decode_instruction("= 12 garbage", offset=0) is None
+
+
+class TestConventions:
+    def test_load_first_operand_is_dest(self):
+        decoded = decode_instruction("LDG.E.SYS R10, [R6.64]", offset=0)
+        instruction = decoded.instruction
+        assert RegisterOperand(10) in instruction.dests
+        assert any(isinstance(s, MemoryOperand) for s in instruction.sources)
+
+    def test_store_memory_first_is_dest(self):
+        decoded = decode_instruction("STG.E.SYS [R8.64], R12", offset=0)
+        instruction = decoded.instruction
+        assert isinstance(instruction.dests[0], MemoryOperand)
+        assert RegisterOperand(12) in instruction.sources
+
+    def test_shared_store_uses_shared_space(self):
+        decoded = decode_instruction("STS [R3.X4], R5", offset=0)
+        assert decoded.instruction.dests[0].space == MemorySpace.SHARED
+
+    def test_isetp_pops_leading_predicate_dests(self):
+        decoded = decode_instruction(
+            "ISETP.GE.AND P0, PT, R0, c[0x0][0x170], PT", offset=0
+        )
+        instruction = decoded.instruction
+        assert Predicate(0) in instruction.dests
+        assert RegisterOperand(0) in instruction.sources
+
+    def test_iadd3_carry_predicate_dest(self):
+        decoded = decode_instruction("IADD3 R0, P1, R0, R4, RZ", offset=0)
+        instruction = decoded.instruction
+        assert RegisterOperand(0) in instruction.dests
+        assert Predicate(1) in instruction.dests
+
+    def test_shfl_register_dest_after_predicate(self):
+        decoded = decode_instruction(
+            "SHFL.DOWN PT, R17, R16, 0x10, 0x1f", offset=0
+        )
+        instruction = decoded.instruction
+        assert RegisterOperand(17) in instruction.dests
+        assert RegisterOperand(16) in instruction.sources
+
+    def test_exit_has_no_dest(self):
+        decoded = decode_instruction("EXIT", offset=0)
+        assert decoded.instruction.dests == ()
+
+
+class TestBranchTargets:
+    def test_absolute_hex_target(self):
+        decoded = decode_instruction("BRA 0x90", offset=0x20)
+        assert decoded.instruction.target == 0x90
+        assert decoded.symbolic_target is None
+
+    def test_symbolic_backtick_target_is_deferred(self):
+        decoded = decode_instruction("BRA `(.L_x_3)", offset=0)
+        assert decoded.instruction.target is None
+        assert decoded.symbolic_target == ".L_x_3"
+
+
+class TestUnknownOpcodes:
+    def test_unknown_opcode_is_flagged(self):
+        decoded = decode_instruction("QSPC.E.S P1, R6, [R4]", offset=0xC0)
+        assert decoded.unknown_opcode
+        assert decoded.instruction.is_unknown_op
+
+    def test_unknown_op_first_register_is_may_def_and_use(self):
+        decoded = decode_instruction("QSPC.E.S P1, R6, [R4]", offset=0)
+        instruction = decoded.instruction
+        assert RegisterOperand(6) in instruction.dests
+        # Sound liveness: the may-def register is also a use, and every
+        # register the text names survives as a source.
+        sources = set(instruction.sources)
+        assert RegisterOperand(6) in sources
+        assert any(
+            isinstance(s, MemoryOperand) and s.base == RegisterOperand(4)
+            for s in sources
+        ) or RegisterOperand(4) in sources
+
+    def test_unknown_op_without_operands(self):
+        decoded = decode_instruction("CCTL.IVALL", offset=0)
+        assert decoded.unknown_opcode
+        assert decoded.instruction.dests == ()
+
+
+class TestUnknownModifiers:
+    def test_unknown_modifier_is_recorded_not_fatal(self):
+        decoded = decode_instruction("LDG.E.WEIRDMOD R0, [R2]", offset=0)
+        assert not decoded.unknown_opcode
+        assert "WEIRDMOD" in decoded.unknown_modifiers
+
+    def test_known_modifiers_are_not_flagged(self):
+        decoded = decode_instruction("LDG.E.SYS R0, [R2]", offset=0)
+        assert decoded.unknown_modifiers == ()
+
+
+class TestLineStamping:
+    def test_listing_line_is_stamped(self):
+        decoded = decode_instruction("MOV R0, RZ", offset=0, listing_line=17)
+        assert decoded.instruction.line == 17

@@ -1,0 +1,138 @@
+"""Operand parsing for real disassembly (``repro.sass.operands``)."""
+
+import pytest
+
+from repro.isa.registers import (
+    ConstantOperand,
+    ImmediateOperand,
+    MemoryOperand,
+    MemorySpace,
+    Predicate,
+    RegisterOperand,
+    UniformPredicate,
+    UniformRegister,
+)
+from repro.sass.operands import OperandError, extract_registers, parse_operand
+
+
+class TestRegisters:
+    def test_plain_register(self):
+        assert parse_operand("R12") == RegisterOperand(12)
+
+    def test_rz_is_the_zero_register(self):
+        operand = parse_operand("RZ")
+        assert isinstance(operand, RegisterOperand)
+        assert operand.is_zero
+
+    @pytest.mark.parametrize("token", ["R4.64", "R4.U32", "R4.H0", "R4.X4", "R4.reuse"])
+    def test_width_and_reuse_suffixes_strip(self, token):
+        assert parse_operand(token) == RegisterOperand(4)
+
+    def test_negated_register(self):
+        operand = parse_operand("-R7")
+        assert isinstance(operand, RegisterOperand)
+        assert operand.index == 7
+
+    def test_absolute_value_bars(self):
+        operand = parse_operand("|R3|")
+        assert isinstance(operand, RegisterOperand)
+        assert operand.index == 3
+
+    def test_uniform_register(self):
+        assert parse_operand("UR4") == UniformRegister(4)
+
+    def test_predicates(self):
+        assert parse_operand("P3") == Predicate(3)
+        assert parse_operand("!P0") == Predicate(0, negated=True)
+        assert parse_operand("UP2") == UniformPredicate(2)
+        true_predicate = parse_operand("PT")
+        assert isinstance(true_predicate, Predicate)
+        assert true_predicate.is_true_predicate
+
+    def test_negated_true_predicate(self):
+        operand = parse_operand("!PT")
+        assert isinstance(operand, Predicate)
+        assert operand.negated
+        assert not operand.is_true_predicate
+
+
+class TestConstantsAndMemory:
+    def test_constant_bank_operand(self):
+        operand = parse_operand("c[0x0][0x160]")
+        assert operand == ConstantOperand(bank=0, offset=0x160)
+
+    def test_global_memory_with_offset(self):
+        operand = parse_operand("[R2+0x10]")
+        assert isinstance(operand, MemoryOperand)
+        assert operand.base == RegisterOperand(2)
+        assert operand.offset == 0x10
+
+    def test_memory_with_uniform_base_term(self):
+        operand = parse_operand("[R4.64+UR4+0x4]")
+        assert isinstance(operand, MemoryOperand)
+        assert operand.base == RegisterOperand(4)
+        assert operand.offset == 0x4
+
+    def test_descriptor_addressing(self):
+        operand = parse_operand("desc[UR4][R2.64]")
+        assert isinstance(operand, MemoryOperand)
+        assert operand.base == RegisterOperand(2)
+
+    def test_shared_space_is_threaded_through(self):
+        operand = parse_operand("[R3.X4]", space=MemorySpace.SHARED)
+        assert operand.space == MemorySpace.SHARED
+
+
+class TestImmediates:
+    def test_hex_integer(self):
+        assert parse_operand("0x80") == ImmediateOperand(0x80)
+
+    def test_decimal_integer(self):
+        assert parse_operand("7") == ImmediateOperand(7)
+
+    def test_hex_float_bit_pattern(self):
+        operand = parse_operand("0f3F800000")
+        assert isinstance(operand, ImmediateOperand)
+        assert operand.value == pytest.approx(1.0)
+
+    def test_hex_double_bit_pattern(self):
+        operand = parse_operand("0d3FF0000000000000")
+        assert isinstance(operand, ImmediateOperand)
+        assert operand.value == pytest.approx(1.0)
+
+    def test_negative_hex_float(self):
+        operand = parse_operand("-0f3F800000")
+        assert operand.value == pytest.approx(-1.0)
+
+    def test_infinity_token(self):
+        operand = parse_operand("INF")
+        assert operand.value == float("inf")
+
+    def test_qnan_token(self):
+        operand = parse_operand("+QNAN")
+        assert operand.value != operand.value  # NaN
+
+    def test_special_register(self):
+        operand = parse_operand("SR_CTAID.X")
+        assert "SR_CTAID" in str(operand)
+
+
+class TestFailures:
+    @pytest.mark.parametrize("token", ["", "???", "c[0x0]", "[R", "R"])
+    def test_garbage_raises_operand_error(self, token):
+        with pytest.raises(OperandError) as excinfo:
+            parse_operand(token)
+        assert excinfo.value.token == token
+
+    def test_operand_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            parse_operand("@@@")
+
+
+class TestExtractRegisters:
+    def test_finds_every_register_mention(self):
+        registers = extract_registers("FANCY.OP R3, [R10+UR2], !P1, R3")
+        assert {operand.index for operand in registers} == {3, 10}
+
+    def test_empty_text(self):
+        assert extract_registers("") == ()

@@ -1,0 +1,133 @@
+"""Corner cases of the static checker on ingested real-SASS shapes.
+
+Three shapes real disassembly produces that in-repo generated kernels never
+did: unknown opcodes *inside* a loop body (liveness must stay sound across
+the back edge), branches whose target lands mid-block (the CFG must split
+the block at the leader), and a predicated branch as the very last
+instruction of a function (the fall-through edge leaves the listing).
+"""
+
+import pytest
+
+from repro.cfg.graph import build_cfg
+from repro.cfg.loops import find_loops
+from repro.sass.frontend import ingest_listing
+from repro.sass.lint import lint_listing
+
+UNKNOWN_IN_LOOP = """\
+MOV R1, c[0x0][0x28]
+MOV R0, RZ
+MOV R5, RZ
+LOOP:
+ISETP.GE.AND P0, PT, R0, 0x40, PT
+@P0 BRA DONE
+MYSTERY.OP R5, R5, R0
+IADD3 R0, R0, 0x1, RZ
+BRA LOOP
+DONE:
+STG.E [R2.64], R5
+EXIT
+"""
+
+MID_BLOCK_BRANCH = """\
+/*0000*/ MOV R1, c[0x0][0x28]
+/*0010*/ ISETP.GE.AND P0, PT, R0, 0x10, PT
+/*0020*/ @P0 BRA 0x50
+/*0030*/ IADD3 R2, R2, 0x1, RZ
+/*0040*/ IADD3 R2, R2, 0x2, RZ
+/*0050*/ IADD3 R2, R2, 0x4, RZ
+/*0060*/ STG.E [R4.64], R2
+/*0070*/ EXIT
+"""
+
+PREDICATED_BRANCH_AT_END = """\
+MOV R1, c[0x0][0x28]
+ISETP.GE.AND P0, PT, R0, 0x10, PT
+TAIL:
+@P0 BRA TAIL
+"""
+
+
+def _function(text, **kwargs):
+    cubin, _report = ingest_listing(text, **kwargs)
+    (name,) = cubin.functions
+    return cubin.functions[name]
+
+
+class TestUnknownOpcodeInLoopBody:
+    def test_lint_never_raises_and_reports_the_unknown(self):
+        report = lint_listing(UNKNOWN_IN_LOOP)
+        unknown = report.diagnostics_for("unknown-opcode")
+        assert len(unknown) == 1
+        assert unknown[0].details["opcode"] == "MYSTERY.OP"
+
+    def test_liveness_stays_sound_across_the_back_edge(self):
+        """R5 is only *may*-written by the unknown op, so neither its
+        initialization nor the loop-carried value is a dead write."""
+        report = lint_listing(UNKNOWN_IN_LOOP)
+        dead = {
+            diagnostic.details["register"]
+            for diagnostic in report.diagnostics_for("dead-register-write")
+        }
+        assert 5 not in dead
+        assert 0 not in dead  # the induction variable feeds the back edge
+
+    def test_loop_is_recovered_around_the_unknown_op(self):
+        function = _function(UNKNOWN_IN_LOOP)
+        cfg = build_cfg(function.instructions)
+        loops = find_loops(cfg)
+        assert loops.loops, "the BRA LOOP back edge must survive"
+
+
+class TestBranchToMidBlockOffset:
+    def test_target_offset_becomes_a_block_leader(self):
+        function = _function(MID_BLOCK_BRANCH)
+        cfg = build_cfg(function.instructions)
+        leaders = {block.instructions[0].offset for block in cfg.blocks}
+        assert 0x50 in leaders
+        # The straight-line run 0x30..0x50 is split at the branch target.
+        containing = [
+            block
+            for block in cfg.blocks
+            if any(i.offset == 0x40 for i in block.instructions)
+        ]
+        assert all(
+            not any(i.offset == 0x50 for i in block.instructions)
+            for block in containing
+        )
+
+    def test_both_paths_reach_the_join(self):
+        report = lint_listing(MID_BLOCK_BRANCH)
+        assert not report.diagnostics_for("unreachable-block")
+
+
+class TestPredicatedBranchAtFunctionEnd:
+    def test_lint_never_raises(self):
+        report = lint_listing(PREDICATED_BRANCH_AT_END)
+        assert report.kernel
+
+    def test_last_block_has_no_phantom_fallthrough(self):
+        function = _function(PREDICATED_BRANCH_AT_END)
+        cfg = build_cfg(function.instructions)
+        last_offset = function.instructions[-1].offset
+        (last_block,) = [
+            block
+            for block in cfg.blocks
+            if block.instructions[-1].offset == last_offset
+        ]
+        successors = set(cfg.successors.get(last_block.index, []))
+        # The self-loop edge exists; no edge points past the function.
+        assert last_block.index in successors
+        assert all(0 <= index < len(cfg.blocks) for index in successors)
+
+
+class TestDiagnosticStability:
+    @pytest.mark.parametrize(
+        "text", [UNKNOWN_IN_LOOP, MID_BLOCK_BRANCH, PREDICATED_BRANCH_AT_END]
+    )
+    def test_reports_are_deterministic_and_sorted(self, text):
+        first = lint_listing(text)
+        second = lint_listing(text)
+        assert first.to_json() == second.to_json()
+        keys = [diagnostic.sort_key for diagnostic in first.diagnostics]
+        assert keys == sorted(keys)

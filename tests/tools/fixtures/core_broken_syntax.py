@@ -1,0 +1,4 @@
+# A deliberately unparseable "core module": the lockstep linter must report
+# a clean parse error (exit 2), not a traceback.
+def check(commit=True:
+    pass

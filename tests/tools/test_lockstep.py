@@ -106,6 +106,37 @@ def test_cli_usage_error():
     assert lockstep.main(["only-one-arg.py"]) == 2
 
 
+def test_cli_missing_core_module_exits_2(capsys):
+    """A vanished core file is an environment error (exit 2), not a lint
+    failure (exit 1) and never a traceback."""
+    code = lockstep.main(
+        [
+            str(FIXTURES / "no_such_core.py"),
+            str(FIXTURES / "core_vector.py"),
+        ]
+    )
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "cannot read core module" in captured.err
+    assert "no_such_core.py" in captured.err
+    assert "Traceback" not in captured.err
+    assert captured.out == ""
+
+
+def test_cli_unparseable_core_module_exits_2(capsys):
+    code = lockstep.main(
+        [
+            str(FIXTURES / "core_broken_syntax.py"),
+            str(FIXTURES / "core_vector.py"),
+        ]
+    )
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "cannot parse core module" in captured.err
+    assert "core_broken_syntax.py" in captured.err
+    assert "Traceback" not in captured.err
+
+
 @pytest.mark.parametrize(
     "guard, expected",
     [

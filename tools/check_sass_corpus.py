@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Hygiene check for the committed SASS corpus.
+
+The corpus has three coupled artifacts: the listings under
+``tests/sass/corpus/``, the manifest in :mod:`repro.sass.corpus`, and the
+byte-pinned golden lint reports under ``tests/sass/golden/``.  A listing
+added without a manifest entry is never linted; a manifest entry without a
+golden is never pinned; a stale golden pins the wrong bytes.  This tool
+fails CI when the three drift apart:
+
+1. Every manifest case's listing file exists, and every ``*.sass`` file in
+   the corpus directory is claimed by exactly one manifest case.
+2. Every manifest case has a golden report, and every golden report file
+   belongs to a manifest case.
+3. Each golden's ``case_id`` matches its manifest case, and its recorded
+   ingest coverage meets the corpus floor (>= 95% decoded instructions).
+4. Re-ingesting each listing reproduces the golden's coverage numbers —
+   catches listings edited without regenerating goldens (the byte-exact
+   diff itself is CI's regenerate-and-compare step).
+
+Usage::
+
+    python tools/check_sass_corpus.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+CORPUS_DIR = REPO_ROOT / "tests" / "sass" / "corpus"
+GOLDEN_DIR = REPO_ROOT / "tests" / "sass" / "golden"
+COVERAGE_FLOOR = 0.95
+
+
+def check_corpus() -> List[str]:
+    from repro.sass.corpus import SASS_CORPUS
+    from repro.sass.frontend import ingest_file
+
+    problems: List[str] = []
+
+    claimed = {}
+    for case in SASS_CORPUS:
+        if case.filename in claimed:
+            problems.append(
+                f"{case.case_id} and {claimed[case.filename]} both claim "
+                f"listing {case.filename}"
+            )
+        claimed[case.filename] = case.case_id
+
+    on_disk = {path.name for path in CORPUS_DIR.glob("*.sass")}
+    for case in SASS_CORPUS:
+        if case.filename not in on_disk:
+            problems.append(
+                f"{case.case_id}: listing {case.filename} missing from "
+                f"{CORPUS_DIR}"
+            )
+    for orphan in sorted(on_disk - set(claimed)):
+        problems.append(
+            f"{CORPUS_DIR / orphan}: listing has no manifest entry in "
+            "repro.sass.corpus"
+        )
+
+    goldens_on_disk = {path.name for path in GOLDEN_DIR.glob("*.json")}
+    expected_goldens = {f"{case.golden_name}.json": case for case in SASS_CORPUS}
+    for name, case in sorted(expected_goldens.items()):
+        if name not in goldens_on_disk:
+            problems.append(
+                f"{case.case_id}: golden report {name} missing from "
+                f"{GOLDEN_DIR} (regenerate with gpa-advise lint --sass-corpus "
+                "--output json --output-dir tests/sass/golden)"
+            )
+    for orphan in sorted(goldens_on_disk - set(expected_goldens)):
+        problems.append(
+            f"{GOLDEN_DIR / orphan}: golden report has no manifest entry"
+        )
+
+    for name, case in sorted(expected_goldens.items()):
+        golden_path = GOLDEN_DIR / name
+        if name not in goldens_on_disk or case.filename not in on_disk:
+            continue
+        golden = json.loads(golden_path.read_text())
+        if golden.get("case_id") != case.case_id:
+            problems.append(
+                f"{golden_path.name}: case_id {golden.get('case_id')!r} does "
+                f"not match manifest entry {case.case_id!r}"
+            )
+        pinned = golden.get("ingest") or {}
+        _, ingest = ingest_file(
+            CORPUS_DIR / case.filename, default_arch=case.arch_flag
+        )
+        if ingest.coverage < COVERAGE_FLOOR:
+            problems.append(
+                f"{case.case_id}: decode coverage {ingest.coverage:.2%} is "
+                f"below the corpus floor ({COVERAGE_FLOOR:.0%})"
+            )
+        for key, live in (
+            ("total", ingest.total),
+            ("decoded", ingest.decoded),
+            ("coverage", ingest.coverage),
+        ):
+            if pinned.get(key) != live:
+                problems.append(
+                    f"{case.case_id}: golden ingest {key}={pinned.get(key)!r} "
+                    f"but re-ingesting the listing gives {live!r} — "
+                    "regenerate the goldens"
+                )
+
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if args:
+        print("usage: check_sass_corpus.py", file=sys.stderr)
+        return 2
+    for directory in (CORPUS_DIR, GOLDEN_DIR):
+        if not directory.is_dir():
+            print(
+                f"corpus hygiene: directory {directory} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+
+    problems = check_corpus()
+    if problems:
+        print(f"corpus hygiene: {len(problems)} problem(s) found:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    from repro.sass.corpus import SASS_CORPUS
+
+    print(
+        f"corpus hygiene: {len(SASS_CORPUS)} listings, manifest and goldens "
+        "agree (files, case ids, decode coverage)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -305,9 +305,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    problems = compare_cores(
-        summarize_core(simulator_path), summarize_core(vector_path)
-    )
+    summaries = []
+    for path in (simulator_path, vector_path):
+        try:
+            summaries.append(summarize_core(path))
+        except OSError as exc:
+            print(
+                f"lockstep lint: cannot read core module {path}: "
+                f"{exc.strerror or exc}",
+                file=sys.stderr,
+            )
+            return 2
+        except SyntaxError as exc:
+            print(
+                f"lockstep lint: cannot parse core module {path}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    problems = compare_cores(*summaries)
     if problems:
         print(f"lockstep lint: {len(problems)} problem(s) found:")
         for problem in problems:
