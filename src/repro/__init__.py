@@ -52,6 +52,7 @@ session::
 
 from repro.advisor.advisor import GPA
 from repro.advisor.report import AdviceReport, render_report
+from repro.api.advisor import Advisor
 from repro.api.request import AdvisingRequest, RequestBuilder, request_for_case
 from repro.api.result import AdvisingResult
 from repro.api.schema import API_SCHEMA_VERSION
@@ -71,22 +72,26 @@ from repro.sampling.profiler import SIMULATION_SCOPES, ProfiledKernel, Profiler
 from repro.sampling.sample import KernelProfile, LaunchConfig, LaunchStatistics
 from repro.sampling.stall_reasons import DetailedStallReason, StallReason
 from repro.sampling.workload import WorkloadSpec
+from repro.service.auth import AuthPolicy, TokenBucket
 from repro.service.client import ServiceClient
 from repro.service.daemon import AdvisingDaemon, ServiceConfig
+from repro.service.repository import JobRepository
 from repro.staticcheck.engine import StaticChecker
 from repro.staticcheck.report import StaticDiagnostic, StaticReport, render_static_report
 from repro.structure.program import ProgramStructure, build_program_structure
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "API_SCHEMA_VERSION",
     "AdviceReport",
+    "Advisor",
     "AdvisingDaemon",
     "AdvisingRequest",
     "AdvisingResult",
     "AdvisingSession",
     "AnalyzeStage",
+    "AuthPolicy",
     "BatchAdvisor",
     "BatchConfig",
     "BatchResult",
@@ -101,6 +106,7 @@ __all__ = [
     "GpuSimulationResult",
     "GpuSimulator",
     "InstructionBlamer",
+    "JobRepository",
     "KernelBuilder",
     "KernelProfile",
     "LaunchConfig",
@@ -125,6 +131,7 @@ __all__ = [
     "request_for_case",
     "StallReason",
     "StaticChecker",
+    "TokenBucket",
     "StaticDiagnostic",
     "StaticReport",
     "VoltaV100",

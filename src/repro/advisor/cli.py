@@ -322,7 +322,30 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                         help="simulator core jobs run on by default "
                              "(default: vector when numpy is available)")
     parser.add_argument("--cache-dir", metavar="PATH",
-                        help="on-disk profile cache shared by every worker")
+                        help="on-disk profile cache shared by every worker "
+                             "(flock-guarded: safe to share between daemons)")
+    parser.add_argument("--store", metavar="PATH", dest="store",
+                        help="SQLite job store: jobs and results survive "
+                             "daemon restarts and are replayed byte-identically "
+                             "(default: in-memory, lost on exit)")
+    parser.add_argument("--eviction-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="also evict expired results on this fixed period "
+                             "(default: only when the store is accessed)")
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="disable request coalescing (identical concurrent "
+                             "submissions each run their own simulation)")
+    parser.add_argument("--auth-token", action="append", default=[],
+                        metavar="CLIENT=TOKEN", dest="auth_tokens",
+                        help="require bearer-token auth; repeatable, one "
+                             "client name + token per flag (anonymous mode "
+                             "when absent)")
+    parser.add_argument("--rate-limit", type=float, default=None, metavar="N",
+                        help="per-client submission rate limit in requests/s "
+                             "(token bucket; default: unlimited)")
+    parser.add_argument("--rate-burst", type=int, default=None, metavar="N",
+                        help="token-bucket burst depth (default: max(1, "
+                             "int(--rate-limit)))")
     return parser
 
 
@@ -341,6 +364,32 @@ def _serve_main(argv: List[str], stop: Optional[threading.Event] = None) -> int:
         parser.error("--job-ttl must be positive")
     if args.sample_period <= 0:
         parser.error("--sample-period must be positive")
+    if args.eviction_interval is not None and args.eviction_interval <= 0:
+        parser.error("--eviction-interval must be positive")
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        parser.error("--rate-limit must be positive")
+    if args.rate_burst is not None and args.rate_burst < 1:
+        parser.error("--rate-burst must be at least 1")
+    if args.rate_burst is not None and args.rate_limit is None:
+        parser.error("--rate-burst requires --rate-limit")
+    tokens = {}
+    for spec in args.auth_tokens:
+        client_name, sep, token = spec.partition("=")
+        if not sep or not client_name or not token:
+            parser.error(
+                f"--auth-token expects CLIENT=TOKEN, got {spec!r}"
+            )
+        if token in tokens:
+            parser.error(f"--auth-token: token for {tokens[token]!r} reused")
+        tokens[token] = client_name
+
+    from repro.service.auth import AuthPolicy
+
+    auth = AuthPolicy(
+        tokens=tokens or None,
+        rate=args.rate_limit,
+        burst=args.rate_burst,
+    )
 
     try:
         config = ServiceConfig(
@@ -357,11 +406,15 @@ def _serve_main(argv: List[str], stop: Optional[threading.Event] = None) -> int:
             queue_capacity=args.queue_size,
             job_ttl=args.job_ttl,
             use_pool=not args.inline,
+            store_path=args.store,
+            eviction_interval=args.eviction_interval,
+            coalesce=not args.no_coalesce,
         )
         # Bind the socket *before* forking the worker pool: a taken port
         # fails with a one-line message and nothing to tear down.
         server = ServiceHTTPServer(
-            (args.host, args.port), daemon, quiet=not args.verbose
+            (args.host, args.port), daemon, quiet=not args.verbose,
+            auth=auth,
         )
     except ServiceError as exc:
         print(f"gpa-advise serve: {exc}", file=sys.stderr)
@@ -384,7 +437,8 @@ def _serve_main(argv: List[str], stop: Optional[threading.Event] = None) -> int:
         f"gpa-advise service listening on http://{host}:{port} "
         f"(workers={args.workers}, queue={args.queue_size}, arch={args.arch}, "
         f"scope={args.simulation_scope}, memory_model={args.memory_model}, "
-        f"cache={args.cache_dir or 'off'})",
+        f"cache={args.cache_dir or 'off'}, store={args.store or 'memory'}, "
+        f"auth={'on' if not auth.anonymous else 'anonymous'})",
         file=sys.stderr, flush=True,
     )
     if args.ready_file:
@@ -431,6 +485,9 @@ def _build_submit_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--url", default="http://127.0.0.1:8765",
                         help="base URL of the daemon (default http://127.0.0.1:8765)")
+    parser.add_argument("--token", default=None,
+                        help="bearer token for daemons started with "
+                             "--auth-token (default: anonymous)")
     parser.add_argument("--healthz", action="store_true",
                         help="print the daemon's health document and exit")
     parser.add_argument("--stats", action="store_true",
@@ -502,7 +559,7 @@ def _submit_main(argv: List[str]) -> int:
                 "to see the available cases"
             )
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, token=args.token)
     variant = "optimized" if args.optimized else "baseline"
 
     def build_request(case_id: str) -> AdvisingRequest:

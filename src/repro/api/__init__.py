@@ -37,6 +37,7 @@ __all__ = [
     "AdvisingRequest",
     "AdvisingResult",
     "AdvisingSession",
+    "Advisor",
     "ApiError",
     "ApiSchemaError",
     "ApiSerializationError",
@@ -51,6 +52,7 @@ _LAZY = {
     "request_for_case": ("repro.api.request", "request_for_case"),
     "AdvisingResult": ("repro.api.result", "AdvisingResult"),
     "AdvisingSession": ("repro.api.session", "AdvisingSession"),
+    "Advisor": ("repro.api.advisor", "Advisor"),
 }
 
 

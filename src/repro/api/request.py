@@ -17,10 +17,13 @@ Construct requests directly, through the fluent :class:`RequestBuilder`
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.api.schema import (
+    ApiSchemaError,
     ApiSerializationError,
     ApiValidationError,
     check_envelope,
@@ -43,6 +46,16 @@ VARIANTS = ("baseline", "optimized")
 #: entirely, or drop the entry first so the launch is re-simulated (and the
 #: fresh profile stored).
 CACHE_POLICIES = ("default", "bypass", "refresh")
+
+#: Version of the request-fingerprint digest.  Bumped when the digest's
+#: inputs change shape; deliberately decoupled from
+#: :data:`~repro.api.schema.API_SCHEMA_VERSION` so an additive schema bump
+#: does not invalidate idempotency keys clients already hold.
+FINGERPRINT_VERSION = 1
+
+#: Request fields the fingerprint deliberately ignores: ``label`` is
+#: display-only — relabelling a request must not defeat coalescing.
+FINGERPRINT_EXCLUDED = ("label",)
 
 
 @dataclass(frozen=True)
@@ -195,34 +208,71 @@ class AdvisingRequest:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
+    def _wire_body(self) -> dict:
+        """The envelope-free field dict both the wire form and the
+        fingerprint are built from."""
+        return {
+            "source": self.source,
+            "case_id": self.case_id,
+            "variant": self.variant,
+            "cubin": self.cubin.to_dict() if self.cubin is not None else None,
+            "kernel": self.kernel,
+            "config": self.config.to_dict() if self.config is not None else None,
+            "workload": self.workload.to_dict() if self.workload is not None else None,
+            "profile": self.profile.to_dict() if self.profile is not None else None,
+            "arch_flag": self.arch_flag,
+            "sample_period": self.sample_period,
+            "simulation_scope": self.simulation_scope,
+            "memory_model": self.memory_model,
+            "simulator_backend": self.simulator_backend,
+            "optimizers": list(self.optimizers) if self.optimizers is not None else None,
+            "cache_policy": self.cache_policy,
+            "label": self.label,
+        }
+
+    def fingerprint(self) -> str:
+        """The public content digest of this request.
+
+        Two requests share a fingerprint exactly when they describe the same
+        job with the same knobs — the ``label`` is display-only and excluded.
+        This is the key the advising service coalesces concurrent identical
+        submissions under, and the idempotency key a client should attach to
+        retried submissions (see :meth:`RequestBuilder.idempotency_key`).
+
+        The digest covers the canonical wire form, so it is stable across
+        processes and daemon restarts; it is salted with
+        :data:`FINGERPRINT_VERSION`, not the API schema version, so additive
+        schema bumps do not invalidate held keys.  Raises
+        :class:`~repro.api.schema.ApiSerializationError` for requests that
+        cannot be serialized (callable workload parameters) — such requests
+        can only run inline, where coalescing never applies.
+        """
+        body = self._wire_body()
+        for name in FINGERPRINT_EXCLUDED:
+            del body[name]
+        try:
+            text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError) as exc:
+            raise ApiSerializationError(
+                f"request cannot be fingerprinted: {exc}"
+            ) from exc
+        hasher = hashlib.sha256()
+        hasher.update(f"fp{FINGERPRINT_VERSION}\x00".encode("utf-8"))
+        hasher.update(text.encode("utf-8"))
+        return hasher.hexdigest()
+
     def to_dict(self) -> dict:
         """The lossless wire form (inverse: :meth:`from_dict`).
 
-        Raises :class:`~repro.api.schema.ApiSerializationError` when the
-        request embeds a workload with callable parameters — such requests
-        can only run inline.
+        Carries the request's :meth:`fingerprint` so services receiving the
+        payload can content-address it without re-deriving anything.  Raises
+        :class:`~repro.api.schema.ApiSerializationError` when the request
+        embeds a workload with callable parameters — such requests can only
+        run inline.
         """
-        return envelope(
-            "advising_request",
-            {
-                "source": self.source,
-                "case_id": self.case_id,
-                "variant": self.variant,
-                "cubin": self.cubin.to_dict() if self.cubin is not None else None,
-                "kernel": self.kernel,
-                "config": self.config.to_dict() if self.config is not None else None,
-                "workload": self.workload.to_dict() if self.workload is not None else None,
-                "profile": self.profile.to_dict() if self.profile is not None else None,
-                "arch_flag": self.arch_flag,
-                "sample_period": self.sample_period,
-                "simulation_scope": self.simulation_scope,
-                "memory_model": self.memory_model,
-                "simulator_backend": self.simulator_backend,
-                "optimizers": list(self.optimizers) if self.optimizers is not None else None,
-                "cache_policy": self.cache_policy,
-                "label": self.label,
-            },
-        )
+        body = self._wire_body()
+        body["fingerprint"] = self.fingerprint()
+        return envelope("advising_request", body)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "AdvisingRequest":
@@ -232,7 +282,7 @@ class AdvisingRequest:
         workload = payload.get("workload")
         profile = payload.get("profile")
         optimizers = payload.get("optimizers")
-        return cls(
+        request = cls(
             source=require_key(payload, "source", "advising_request"),
             case_id=payload.get("case_id"),
             variant=payload.get("variant", "baseline"),
@@ -250,6 +300,17 @@ class AdvisingRequest:
             cache_policy=payload.get("cache_policy", "default"),
             label=payload.get("label"),
         )
+        stated = payload.get("fingerprint")
+        if stated is not None and stated != request.fingerprint():
+            # Strict: a mis-stated fingerprint means the payload was edited
+            # after digesting (or forged for a coalescing collision); reject
+            # it rather than silently re-keying.
+            raise ApiSchemaError(
+                f"advising_request fingerprint mismatch: payload states "
+                f"{stated!r} but its content digests to "
+                f"{request.fingerprint()!r}"
+            )
+        return request
 
     def is_serializable(self) -> bool:
         """Whether this request can cross a process/service boundary."""
@@ -413,6 +474,16 @@ class RequestBuilder:
                 "request needs a source: call .case(), .binary() or .profile()"
             )
         return AdvisingRequest(**self._fields)
+
+    def idempotency_key(self) -> str:
+        """The :meth:`AdvisingRequest.fingerprint` of the built request.
+
+        Two builders that describe the same work — regardless of
+        ``label`` — produce the same key, so callers can deduplicate
+        submissions before ever talking to a service.  Validates the
+        builder state exactly like :meth:`build`.
+        """
+        return self.build().fingerprint()
 
 
 def request_for_case(

@@ -49,7 +49,13 @@ from typing import Any
 #:    it, and serialized CUBIN functions may carry a ``"sass"`` raw-listing
 #:    section in place of ``"code"`` when their operands do not fit the
 #:    fixed-width encoding.
-API_SCHEMA_VERSION = 6
+#: 7. Requests carry a ``fingerprint``: the public content digest
+#:    (:meth:`AdvisingRequest.fingerprint
+#:    <repro.api.request.AdvisingRequest.fingerprint>`) the advising
+#:    service coalesces identical submissions by.  Loaders are strict: a
+#:    payload whose stated fingerprint does not match its recomputed one is
+#:    rejected instead of silently re-keyed.
+API_SCHEMA_VERSION = 7
 
 
 class ApiError(Exception):

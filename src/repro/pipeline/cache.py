@@ -23,7 +23,11 @@ that digests *everything the simulation depends on*:
 
 Changing any of these misses; repeating a run hits and skips the simulator.
 Writes go through a temporary file and :func:`os.replace` so concurrent
-worker processes never observe a torn entry.
+worker processes never observe a torn entry, and every *mutation* (store,
+invalidate, clear) additionally holds a :class:`CacheLock` — an advisory
+``flock`` on ``<dir>/.cache.lock`` — so one cache directory is safe to
+share between multiple daemons on a host, not just between the worker
+processes of one daemon.
 """
 
 from __future__ import annotations
@@ -33,10 +37,16 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import types
 from dataclasses import fields
 from pathlib import Path
 from typing import Optional, Union
+
+try:  # pragma: no cover - present on every POSIX build we target
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.arch.machine import GpuArchitecture
 from repro.cubin.binary import Cubin
@@ -350,12 +360,61 @@ def profile_cache_key(
 # ----------------------------------------------------------------------
 # The cache proper
 # ----------------------------------------------------------------------
+class CacheLock:
+    """A reentrant cross-process mutex on a cache directory.
+
+    Combines a thread :class:`~threading.RLock` (handler threads of one
+    daemon) with an advisory ``flock`` on ``<dir>/.cache.lock``
+    (daemons sharing the directory).  The OS drops the flock automatically
+    if the holder dies, so a SIGKILL'd daemon can never wedge its
+    neighbours.  On platforms without :mod:`fcntl` the file lock degrades
+    to the thread lock alone — single-process safety is preserved.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.path = Path(directory) / ".cache.lock"
+        self._thread_lock = threading.RLock()
+        self._depth = 0
+        self._handle = None
+
+    def __enter__(self) -> "CacheLock":
+        self._thread_lock.acquire()
+        self._depth += 1
+        if self._depth == 1 and fcntl is not None:
+            try:
+                handle = open(self.path, "a+b")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                self._handle = handle
+            except OSError:  # pragma: no cover - exotic filesystems
+                # A filesystem that refuses flock (some network mounts):
+                # fall back to thread-level locking rather than failing
+                # every cache write.
+                self._handle = None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._depth == 1 and self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                self._handle.close()
+                self._handle = None
+        self._depth -= 1
+        self._thread_lock.release()
+
+    @property
+    def held(self) -> bool:
+        """Whether this process currently holds the lock (for tests)."""
+        return self._depth > 0
+
+
 class ProfileCache:
     """A directory of cached kernel profiles, one JSON file per key."""
 
     def __init__(self, directory: Union[str, Path]):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.lock = CacheLock(self.directory)
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -385,22 +444,28 @@ class ProfileCache:
         return profile
 
     def put(self, key: str, profile: KernelProfile) -> Path:
-        """Store ``profile`` under ``key`` (atomic, last writer wins)."""
+        """Store ``profile`` under ``key`` (atomic, last writer wins).
+
+        Held under :attr:`lock`, so daemons sharing the directory
+        serialize their writes; readers never need the lock because
+        :func:`os.replace` publishes entries atomically.
+        """
         path = self.path_for(key)
-        handle, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(handle, "w") as stream:
-                stream.write(profile.to_json())
-            os.replace(tmp_name, path)
-        except BaseException:
+        with self.lock:
+            handle, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self.stores += 1
+                with os.fdopen(handle, "w") as stream:
+                    stream.write(profile.to_json())
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self.stores += 1
         return path
 
     def invalidate(self, key: str) -> bool:
@@ -409,10 +474,11 @@ class ProfileCache:
         Returns whether an entry existed; racing with another process's
         removal counts as "did not exist".
         """
-        try:
-            self.path_for(key).unlink()
-        except FileNotFoundError:
-            return False
+        with self.lock:
+            try:
+                self.path_for(key).unlink()
+            except FileNotFoundError:
+                return False
         return True
 
     def clear(self) -> int:
@@ -422,12 +488,13 @@ class ProfileCache:
         removes between the listing and the unlink is simply skipped.
         """
         removed = 0
-        for path in self.directory.glob("*.profile.json"):
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                continue
-            removed += 1
+        with self.lock:
+            for path in self.directory.glob("*.profile.json"):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                removed += 1
         return removed
 
     def __len__(self) -> int:

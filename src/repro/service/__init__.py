@@ -8,14 +8,29 @@ profile cache and worker pool:
 * a bounded FIFO :class:`~repro.service.queue.JobQueue` applies
   backpressure (HTTP 429) instead of accepting unbounded work;
 * a :class:`~repro.service.jobs.JobStore` tracks every job through
-  ``queued -> running -> done | failed`` and TTL-evicts settled results;
+  ``queued -> running -> done | failed`` and TTL-evicts settled results —
+  or, with ``--store``, the SQLite-backed
+  :class:`~repro.service.repository.JobRepository` persists jobs and their
+  result wire forms so a killed-and-restarted daemon replays completed
+  results byte-identically and requeues the interrupted backlog;
+* concurrent identical submissions (same
+  :meth:`~repro.api.request.AdvisingRequest.fingerprint`) **coalesce**
+  onto one in-flight simulation, whose result fans out to every attached
+  job (dedup counters surface in ``/v1/stats``);
+* per-client bearer-token auth and token-bucket rate limiting
+  (:class:`~repro.service.auth.AuthPolicy`) gate admission as HTTP
+  middleware — 401/403/429-with-``Retry-After`` — while anonymous,
+  unlimited local use stays the zero-config default;
 * a versioned JSON-over-HTTP protocol
   (:mod:`repro.service.http`: ``POST /v1/advise``, ``POST /v1/batch``,
-  ``GET /v1/jobs/<id>``, ``GET /v1/healthz``, ``GET /v1/stats``) validates
-  every envelope against :data:`~repro.api.schema.API_SCHEMA_VERSION`;
-* a :class:`~repro.service.client.ServiceClient` mirrors
-  :class:`~repro.api.session.AdvisingSession`'s ``advise``/``advise_many``
-  surface, returning **bit-identical** reports;
+  ``POST /v1/lint``, ``GET /v1/jobs/<id>``, ``GET /v1/healthz``,
+  ``GET /v1/stats``) validates every envelope against
+  :data:`~repro.api.schema.API_SCHEMA_VERSION`;
+* a :class:`~repro.service.client.ServiceClient` implements the same
+  :class:`~repro.api.advisor.Advisor` protocol as
+  :class:`~repro.api.session.AdvisingSession`
+  (``advise``/``advise_many``/``stream``/``lint``), returning
+  **bit-identical** reports;
 * shutdown is graceful: drain the queue, settle every job, persist the
   profile cache, answer 503 to latecomers — exactly what the
   ``gpa-advise serve`` SIGTERM handler triggers.
@@ -32,10 +47,14 @@ Quickstart (see ``docs/SERVICE.md`` for the full protocol)::
     result = client.advise(request)         # == session.advise(request), bit for bit
 """
 
+from repro.service.auth import ANONYMOUS, AuthPolicy, TokenBucket
 from repro.service.client import DEFAULT_POLL_INTERVAL, JobView, ServiceClient
 from repro.service.daemon import AdvisingDaemon, DAEMON_STATES, ServiceConfig
 from repro.service.errors import (
+    AuthenticationError,
+    AuthorizationError,
     QueueFullError,
+    RateLimitedError,
     ServiceConnectionError,
     ServiceError,
     ServiceTimeoutError,
@@ -44,20 +63,41 @@ from repro.service.errors import (
     UnknownJobError,
 )
 from repro.service.http import ServiceHTTPServer, ServiceRequestHandler
-from repro.service.jobs import JOB_STATES, Job, JobCounts, JobStore, TERMINAL_STATES
+from repro.service.jobs import (
+    JOB_STATES,
+    Job,
+    JobCounts,
+    JobRegistry,
+    JobStore,
+    TERMINAL_STATES,
+)
 from repro.service.queue import JobQueue
+from repro.service.repository import (
+    REPOSITORY_SCHEMA_VERSION,
+    JobRepository,
+    RepositoryStateError,
+)
 
 __all__ = [
+    "ANONYMOUS",
     "AdvisingDaemon",
+    "AuthPolicy",
+    "AuthenticationError",
+    "AuthorizationError",
     "DAEMON_STATES",
     "DEFAULT_POLL_INTERVAL",
     "Job",
     "JobCounts",
     "JobQueue",
+    "JobRegistry",
+    "JobRepository",
     "JobStore",
     "JobView",
     "JOB_STATES",
     "QueueFullError",
+    "RateLimitedError",
+    "REPOSITORY_SCHEMA_VERSION",
+    "RepositoryStateError",
     "ServiceClient",
     "ServiceConfig",
     "ServiceConnectionError",
@@ -67,6 +107,7 @@ __all__ = [
     "ServiceTimeoutError",
     "ServiceUnavailableError",
     "ServiceValidationError",
+    "TokenBucket",
     "TERMINAL_STATES",
     "UnknownJobError",
 ]

@@ -26,19 +26,27 @@ import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Union
 
 from repro.api.request import AdvisingRequest
 from repro.api.result import AdvisingResult
 from repro.service.errors import (
+    RateLimitedError,
     ServiceConnectionError,
     ServiceError,
     ServiceTimeoutError,
-    error_for_status,
+    error_for_kind,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.report import StaticReport
 
 #: How often :meth:`ServiceClient.wait` polls a job by default.
 DEFAULT_POLL_INTERVAL = 0.05
+
+#: How long (seconds) the client will sleep-and-retry rate-limited
+#: submissions before giving up and re-raising, by default.
+DEFAULT_RATE_LIMIT_PATIENCE = 30.0
 
 
 @dataclass
@@ -61,9 +69,17 @@ class JobView:
 class ServiceClient:
     """Talks to one advising daemon."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 token: Optional[str] = None,
+                 rate_limit_patience: float = DEFAULT_RATE_LIMIT_PATIENCE):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Bearer token sent as ``Authorization: Bearer <token>`` on every
+        #: call; ``None`` talks to anonymous daemons.
+        self.token = token
+        #: Total seconds the client will spend honouring ``Retry-After``
+        #: on 429 rate-limit answers before re-raising; 0 disables retries.
+        self.rate_limit_patience = rate_limit_patience
 
     # ------------------------------------------------------------------
     # Raw protocol
@@ -72,6 +88,8 @@ class ServiceClient:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -90,18 +108,43 @@ class ServiceClient:
     @staticmethod
     def _decode_error(exc: urllib.error.HTTPError) -> ServiceError:
         message = f"HTTP {exc.code}"
+        kind = None
+        retry_after: Optional[float] = None
         try:
             body = json.loads(exc.read().decode("utf-8"))
             message = body.get("error", message)
+            kind = body.get("error_kind")
+            retry_after = body.get("retry_after")
         except Exception:  # non-JSON error body: keep the status line
             pass
-        return error_for_status(exc.code, message)
+        if retry_after is None:
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            try:
+                retry_after = float(header) if header else None
+            except ValueError:
+                retry_after = None
+        return error_for_kind(kind, exc.code, message, retry_after=retry_after)
 
     def _get(self, path: str) -> dict:
         return self._call("GET", path)
 
     def _post(self, path: str, payload: dict) -> dict:
-        return self._call("POST", path, payload)
+        """POST, sleeping on ``Retry-After`` while patience remains.
+
+        Only rate-limit 429s are retried — queue-full 429s carry a
+        different ``error_kind`` and keep raising immediately (the queue
+        gives no refill estimate; backoff policy belongs to the caller).
+        """
+        patience = self.rate_limit_patience
+        while True:
+            try:
+                return self._call("POST", path, payload)
+            except RateLimitedError as exc:
+                delay = exc.retry_after if exc.retry_after is not None else 1.0
+                if patience < delay:
+                    raise
+                patience -= delay
+                time.sleep(delay)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -208,3 +251,52 @@ class ServiceClient:
                 )
             results.append(view.result)
         return results
+
+    def stream(
+        self,
+        requests: Sequence[Union[AdvisingRequest, dict]],
+        timeout: float = 600.0,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> Iterator[AdvisingResult]:
+        """Yield results in *completion* order (``result.index`` keeps the
+        submission position) — the remote twin of
+        :meth:`AdvisingSession.stream
+        <repro.api.session.AdvisingSession.stream>`.
+        """
+        outstanding = self.submit_many(requests)
+        deadline = time.monotonic() + timeout
+        while outstanding:
+            settled = []
+            for job_id in outstanding:
+                view = self.job(job_id)
+                if not view.terminal:
+                    continue
+                settled.append(job_id)
+                if view.result is None:
+                    raise ServiceError(
+                        f"job {view.job_id} ended {view.state!r} without a "
+                        f"result: {view.error or 'unknown error'}"
+                    )
+                yield view.result
+            outstanding = [job_id for job_id in outstanding
+                           if job_id not in settled]
+            if not outstanding:
+                return
+            if time.monotonic() >= deadline:
+                raise ServiceTimeoutError(
+                    f"{len(outstanding)} of {len(requests)} jobs still "
+                    f"unfinished after {timeout:.1f}s"
+                )
+            time.sleep(poll_interval)
+
+    def lint(self, request: Union[AdvisingRequest, dict]) -> "StaticReport":
+        """Run the daemon-side static lint; returns the typed report.
+
+        Synchronous — the static checker never simulates, so there is no
+        job to poll.  The remote twin of :meth:`AdvisingSession.lint
+        <repro.api.session.AdvisingSession.lint>`.
+        """
+        from repro.staticcheck.report import StaticReport
+
+        raw = self._post("/v1/lint", {"request": self._payload(request)})
+        return StaticReport.from_dict(raw)

@@ -54,8 +54,9 @@ from repro.service.errors import (
     ServiceUnavailableError,
     ServiceValidationError,
 )
-from repro.service.jobs import Job, JobStore
+from repro.service.jobs import Job, JobRegistry, JobStore
 from repro.service.queue import JobQueue
+from repro.service.repository import JobRepository
 
 #: Daemon lifecycle states (reported by ``/v1/healthz`` and ``/v1/stats``).
 DAEMON_STATES = ("new", "serving", "draining", "stopped")
@@ -203,14 +204,34 @@ class AdvisingDaemon:
         job_ttl: Optional[float] = 900.0,
         use_pool: bool = True,
         clock=time.monotonic,
+        store_path: Optional[str] = None,
+        store: Optional[JobRegistry] = None,
+        eviction_interval: Optional[float] = None,
+        coalesce: bool = True,
     ):
         if workers < 1:
             raise ServiceValidationError(f"workers must be >= 1, got {workers}")
+        if eviction_interval is not None and eviction_interval <= 0:
+            raise ServiceValidationError(
+                f"eviction_interval must be positive (or None), "
+                f"got {eviction_interval}"
+            )
         self.config = config if config is not None else ServiceConfig()
         self.workers = workers
         self.use_pool = use_pool
         self.queue = JobQueue(queue_capacity)
-        self.store = JobStore(ttl=job_ttl, clock=clock)
+        # The registry backend: an injected store wins (tests), then a
+        # --store path (durable SQLite, wall-clock TTL so eviction survives
+        # restarts), then the in-memory default.
+        if store is not None:
+            self.store = store
+        elif store_path is not None:
+            self.store = JobRepository(store_path, ttl=job_ttl)
+        else:
+            self.store = JobStore(ttl=job_ttl, clock=clock)
+        self.store_path = store_path
+        self.eviction_interval = eviction_interval
+        self.coalesce = coalesce
         self._clock = clock
         self._state = "new"
         self._state_lock = threading.RLock()
@@ -222,8 +243,20 @@ class AdvisingDaemon:
         self._in_flight = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._executions = 0
         self._started_at: Optional[float] = None
         self._shutdown_summary: Optional[dict] = None
+        # Request coalescing: fingerprint -> in-flight primary job id,
+        # primary job id -> follower job ids, primary job id -> fingerprint
+        # (for teardown).  One lock guards all three maps.
+        self._coalesce_lock = threading.Lock()
+        self._inflight_by_fp: Dict[str, str] = {}
+        self._followers: Dict[str, List[str]] = {}
+        self._fp_of: Dict[str, str] = {}
+        self._coalesce_groups = 0
+        self._recovered = 0
+        self._eviction_stop = threading.Event()
+        self._eviction_thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -240,6 +273,14 @@ class AdvisingDaemon:
                 raise ServiceError(f"daemon already started (state {self._state!r})")
             self._state = "serving"
         self._started_at = self._clock()
+        # Crash recovery: whatever a previous daemon admitted but never
+        # finished goes back on the queue before any worker starts, so
+        # restarts resume the backlog instead of forgetting it.  The
+        # in-memory store recovers nothing by construction.
+        recovered = self.store.recover()
+        if recovered:
+            self.queue.restore(recovered)
+            self._recovered = len(recovered)
         if self.use_pool:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
             # Fork every worker process *now*, from a quiet main thread —
@@ -260,7 +301,23 @@ class AdvisingDaemon:
             )
             thread.start()
             self._threads.append(thread)
+        if self.eviction_interval is not None and self.store.ttl is not None:
+            # Explicit, scheduled eviction (the shared registry contract):
+            # an idle daemon still sheds expired results instead of only
+            # cleaning when someone happens to talk to it.
+            self._eviction_thread = threading.Thread(
+                target=self._eviction_loop, name="gpa-service-evictor",
+                daemon=True,
+            )
+            self._eviction_thread.start()
         return self
+
+    def _eviction_loop(self) -> None:
+        while not self._eviction_stop.wait(self.eviction_interval):
+            try:
+                self.store.evict()
+            except Exception:  # pragma: no cover - store is closing/broken
+                return
 
     def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> dict:
         """Stop admissions, settle every admitted job, stop the workers.
@@ -278,6 +335,7 @@ class AdvisingDaemon:
             if self._state == "new":
                 self._state = "stopped"
                 self._shutdown_summary = self._summary()
+                self.store.close()
                 return dict(self._shutdown_summary)
             if self._state == "draining":
                 concurrent = True
@@ -295,21 +353,26 @@ class AdvisingDaemon:
 
         if not drain:
             for job_id in self.queue.clear():
-                self.store.abort(
-                    job_id, "daemon shut down before the job ran"
-                )
+                # Aborting a queued primary aborts every submission that
+                # coalesced onto it — none of them will ever run.
+                self._abort_group(job_id, "daemon shut down before the job ran")
         # Sentinels queue *behind* the remaining work: FIFO order is the
         # drain guarantee.
         self.queue.close(len(threads))
         for thread in threads:
             thread.join(timeout)
+        self._eviction_stop.set()
+        if self._eviction_thread is not None:
+            self._eviction_thread.join(timeout)
+            self._eviction_thread = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
         with self._state_lock:
             self._state = "stopped"
             self._shutdown_summary = self._summary()
-            return dict(self._shutdown_summary)
+        self.store.close()
+        return dict(self._shutdown_summary)
 
     def _summary(self) -> dict:
         counts = self.store.counts
@@ -319,6 +382,7 @@ class AdvisingDaemon:
             "jobs_served": counts.served,
             "jobs_failed": counts.failed,
             "jobs_aborted": counts.aborted,
+            "jobs_coalesced": counts.coalesced,
         }
 
     # ------------------------------------------------------------------
@@ -353,19 +417,142 @@ class AdvisingDaemon:
                 self.store.create(request.to_dict(), request.describe(), index)
                 for index, request in enumerate(requests)
             ]
+            primaries, attachments = self._plan_coalescing(jobs, requests)
             try:
-                self.queue.put_many([job.job_id for job in jobs])
+                self.queue.put_many([job.job_id for job in primaries])
             except ServiceError:
+                self._unplan_coalescing(jobs, attachments)
                 for job in jobs:
                     self.store.discard(job.job_id)
                 raise
+            for job_id, primary_id in attachments:
+                self.store.attach(job_id, primary_id)
         return [job.job_id for job in jobs]
+
+    # ------------------------------------------------------------------
+    # Coalescing
+    # ------------------------------------------------------------------
+    def _plan_coalescing(
+        self, jobs: List[Job], requests: List[AdvisingRequest],
+    ) -> Tuple[List[Job], List[Tuple[str, str]]]:
+        """Split a validated batch into queue-bound primaries and followers.
+
+        A submission coalesces when an identical request (same
+        :meth:`~repro.api.request.AdvisingRequest.fingerprint`, which
+        ignores ``label``) is already in flight *and* both sides use the
+        ``default`` cache policy — ``bypass``/``refresh`` submissions
+        explicitly demand their own run, so they never join or anchor a
+        group.  Followers are never enqueued: the primary's single
+        simulation fans its result out to them on completion.
+        """
+        if not self.coalesce:
+            return list(jobs), []
+        primaries: List[Job] = []
+        attachments: List[Tuple[str, str]] = []
+        with self._coalesce_lock:
+            for job, request in zip(jobs, requests):
+                if request.cache_policy != "default":
+                    primaries.append(job)
+                    continue
+                fingerprint = request.fingerprint()
+                primary_id = self._inflight_by_fp.get(fingerprint)
+                if primary_id is not None:
+                    if not self._followers[primary_id]:
+                        self._coalesce_groups += 1
+                    self._followers[primary_id].append(job.job_id)
+                    attachments.append((job.job_id, primary_id))
+                else:
+                    self._inflight_by_fp[fingerprint] = job.job_id
+                    self._followers[job.job_id] = []
+                    self._fp_of[job.job_id] = fingerprint
+                    primaries.append(job)
+        return primaries, attachments
+
+    def _unplan_coalescing(
+        self, jobs: List[Job], attachments: List[Tuple[str, str]],
+    ) -> None:
+        """Undo :meth:`_plan_coalescing` for a batch the queue rejected."""
+        attached = {job_id for job_id, _ in attachments}
+        with self._coalesce_lock:
+            for job_id, primary_id in attachments:
+                followers = self._followers.get(primary_id)
+                if followers and job_id in followers:
+                    followers.remove(job_id)
+                    if not followers:
+                        self._coalesce_groups -= 1
+            for job in jobs:
+                if job.job_id in attached:
+                    continue
+                fingerprint = self._fp_of.pop(job.job_id, None)
+                if fingerprint is not None:
+                    self._inflight_by_fp.pop(fingerprint, None)
+                    self._followers.pop(job.job_id, None)
+
+    def _pop_followers(self, job_id: str) -> List[str]:
+        """Close a primary's coalescing group and return its followers."""
+        with self._coalesce_lock:
+            fingerprint = self._fp_of.pop(job_id, None)
+            if fingerprint is not None:
+                self._inflight_by_fp.pop(fingerprint, None)
+            return self._followers.pop(job_id, [])
+
+    def _abort_group(self, job_id: str, error: str) -> None:
+        """Abort a never-run primary and every follower attached to it."""
+        for settle_id in [job_id, *self._pop_followers(job_id)]:
+            try:
+                self.store.abort(settle_id, error)
+            except ServiceError:  # pragma: no cover - evicted under us
+                continue
+
+    def _adapted_result(self, result: Optional[dict], follower: Job) -> Optional[dict]:
+        """The primary's result re-addressed to a coalesced follower.
+
+        Identical simulation, different envelope address: the follower keeps
+        its own ``index``/``label`` and its own request wire form (which can
+        differ from the primary's only in ``label`` — everything else is
+        pinned by the shared fingerprint).
+        """
+        if result is None:
+            return None
+        adapted = dict(result)
+        adapted["index"] = follower.index
+        adapted["label"] = follower.label
+        adapted["request"] = follower.payload
+        return adapted
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def job_view(self, job_id: str) -> dict:
         return self.store.view(job_id)
+
+    def lint(self, payload: dict) -> dict:
+        """Run the static lint for one ``advising_request`` envelope.
+
+        Synchronous (no queue, no job): the static checker never simulates,
+        so a lint answers in milliseconds and a job handle would be pure
+        overhead.  Runs on a daemon-side inline session, lazily built and
+        serialized — lint never touches the profile cache, so it cannot
+        perturb dynamic results.
+        """
+        try:
+            request = AdvisingRequest.from_dict(payload)
+        except (ApiError, TypeError, ValueError) as exc:
+            raise ServiceValidationError(f"lint request: {exc}") from exc
+        with self._state_lock:
+            if self._state != "serving":
+                raise ServiceUnavailableError(
+                    f"daemon is {self._state}; not accepting new jobs"
+                )
+        with self._session_lock:
+            if self._session is None:
+                self._session = self.config.build_session()
+            try:
+                return self._session.lint(request).to_dict()
+            except ApiError:
+                raise
+            except Exception as exc:
+                raise ServiceValidationError(f"lint failed: {exc}") from exc
 
     def healthz(self) -> dict:
         return {
@@ -381,6 +568,10 @@ class AdvisingDaemon:
         with self._stats_lock:
             hits, misses = self._cache_hits, self._cache_misses
             in_flight = self._in_flight
+            executions = self._executions
+        with self._coalesce_lock:
+            groups = self._coalesce_groups
+            inflight_keys = len(self._inflight_by_fp)
         lookups = hits + misses
         return {
             "kind": "service_stats",
@@ -396,7 +587,23 @@ class AdvisingDaemon:
             "jobs_failed": counts.failed,
             "jobs_aborted": counts.aborted,
             "jobs_evicted": counts.evicted,
+            "jobs_coalesced": counts.coalesced,
+            "jobs_executed": executions,
+            "jobs_recovered": self._recovered,
             "jobs_stored": len(self.store),
+            "coalescing": {
+                "enabled": self.coalesce,
+                "groups": groups,
+                "attached": counts.coalesced,
+                "in_flight_keys": inflight_keys,
+            },
+            "persistence": {
+                "backend": (
+                    "sqlite" if isinstance(self.store, JobRepository)
+                    else "memory"
+                ),
+                "path": self.store_path,
+            },
             "cache": None if self.config.cache_dir is None else {
                 "hits": hits,
                 "misses": misses,
@@ -419,6 +626,7 @@ class AdvisingDaemon:
             try:
                 job = self.store.mark_running(job_id)
             except ServiceError:  # evicted/raced away; nothing to run
+                self._pop_followers(job_id)
                 continue
             with self._stats_lock:
                 self._in_flight += 1
@@ -431,11 +639,13 @@ class AdvisingDaemon:
     def _settle(self, job: Job) -> None:
         """Execute one job and move it to a terminal state, never raising."""
         executor = self._executor
+        with self._stats_lock:
+            self._executions += 1
         try:
             outcome = self._execute(job.payload, job.index)
         except BaseException as exc:
             error = traceback.format_exc()
-            self.store.finish(job.job_id, self._failed_result(job, error), error)
+            self._finish_group(job, self._failed_result(job, error), error)
             if isinstance(exc, BrokenProcessPool):
                 self._replace_pool(executor)
             return
@@ -443,7 +653,22 @@ class AdvisingDaemon:
         with self._stats_lock:
             self._cache_hits += outcome["cache_hits"]
             self._cache_misses += outcome["cache_misses"]
-        self.store.finish(job.job_id, result, result.get("error"))
+        self._finish_group(job, result, result.get("error"))
+
+    def _finish_group(self, job: Job, result: Optional[dict],
+                      error: Optional[str]) -> None:
+        """Settle a finished primary, then fan its result out to every
+        submission that coalesced onto it (each under its own address)."""
+        followers = self._pop_followers(job.job_id)
+        self.store.finish(job.job_id, result, error)
+        for follower_id in followers:
+            try:
+                follower = self.store.get(follower_id)
+                self.store.finish(
+                    follower_id, self._adapted_result(result, follower), error
+                )
+            except ServiceError:  # pragma: no cover - evicted under us
+                continue
 
     def _execute(self, payload: dict, index: int) -> dict:
         """One job through the pool (or inline when ``use_pool=False``)."""

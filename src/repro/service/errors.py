@@ -36,6 +36,28 @@ class QueueFullError(ServiceError):
     """The bounded job queue is at capacity — backpressure, try again later."""
 
 
+class AuthenticationError(ServiceError):
+    """The request carried no usable credentials (and the daemon wants some)."""
+
+
+class AuthorizationError(ServiceError):
+    """The request's bearer token is not one the daemon recognizes."""
+
+
+class RateLimitedError(ServiceError):
+    """The client exceeded its token-bucket rate; retry after a delay.
+
+    ``retry_after`` (seconds, possibly fractional) is how long the bucket
+    needs to refill one token — the daemon rounds it up into the HTTP
+    ``Retry-After`` header, and :class:`~repro.service.client.ServiceClient`
+    sleeps on it before retrying.
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ServiceUnavailableError(ServiceError):
     """The daemon is draining or stopped and accepts no new work."""
 
@@ -48,12 +70,29 @@ class ServiceTimeoutError(ServiceError, TimeoutError):
     """The client gave up waiting for a job to reach a terminal state."""
 
 
-#: Error class -> HTTP status code the daemon answers with.
+#: Error class -> HTTP status code the daemon answers with.  Two classes
+#: share 429 (queue backpressure vs. rate limiting), so wire-form error
+#: bodies also carry an ``error_kind`` (:data:`ERROR_KIND`) and the client
+#: reconstructs from the kind first, the status only as a fallback.
 HTTP_STATUS = {
     ServiceValidationError: 400,
+    AuthenticationError: 401,
+    AuthorizationError: 403,
     UnknownJobError: 404,
     QueueFullError: 429,
+    RateLimitedError: 429,
     ServiceUnavailableError: 503,
+}
+
+#: Error class -> the stable ``error_kind`` string in error bodies.
+ERROR_KIND = {
+    ServiceValidationError: "validation",
+    AuthenticationError: "authentication",
+    AuthorizationError: "authorization",
+    UnknownJobError: "unknown_job",
+    QueueFullError: "queue_full",
+    RateLimitedError: "rate_limited",
+    ServiceUnavailableError: "unavailable",
 }
 
 
@@ -65,8 +104,16 @@ def status_for_error(exc: BaseException) -> int:
     return 500
 
 
+def kind_for_error(exc: BaseException) -> str:
+    """The ``error_kind`` string for a daemon-side failure."""
+    for klass, kind in ERROR_KIND.items():
+        if isinstance(exc, klass):
+            return kind
+    return "internal"
+
+
 def error_for_status(status: int, message: str) -> ServiceError:
-    """The client-side twin of a daemon error response."""
+    """The client-side twin of a daemon error response, from status alone."""
     klass: Optional[Type[ServiceError]] = None
     for candidate, candidate_status in HTTP_STATUS.items():
         if candidate_status == status:
@@ -75,3 +122,18 @@ def error_for_status(status: int, message: str) -> ServiceError:
     if klass is None:
         return ServiceError(f"service answered HTTP {status}: {message}")
     return klass(message)
+
+
+def error_for_kind(kind: Optional[str], status: int, message: str,
+                   retry_after: Optional[float] = None) -> ServiceError:
+    """The client-side twin of a daemon error response.
+
+    Prefers the body's ``error_kind`` (unambiguous) and falls back to the
+    status code for daemons that predate kinds.
+    """
+    for klass, candidate in ERROR_KIND.items():
+        if candidate == kind:
+            if klass is RateLimitedError:
+                return RateLimitedError(message, retry_after=retry_after)
+            return klass(message)
+    return error_for_status(status, message)

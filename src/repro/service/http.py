@@ -10,6 +10,8 @@ POST      ``/v1/advise``      ``{"request": <advising_request>}`` -> 202
                               ``{"job_id": ..., "state": "queued"}``
 POST      ``/v1/batch``       ``{"requests": [<advising_request>, ...]}``
                               -> 202 ``{"job_ids": [...]}`` (atomic)
+POST      ``/v1/lint``        ``{"request": <advising_request>}`` -> 200
+                              ``static_report`` envelope (synchronous)
 GET       ``/v1/jobs/<id>``   job state + the ``advising_result`` envelope
 GET       ``/v1/healthz``     liveness + daemon state + config echo
 GET       ``/v1/stats``       queue depth, cache hit rate, jobs served
@@ -17,9 +19,13 @@ GET       ``/v1/stats``       queue depth, cache hit rate, jobs served
 
 Envelopes are validated strictly — a request whose ``schema_version`` or
 ``kind`` does not match this build is a 400, never a silent misparse — and
-error responses carry a one-line message, **never a traceback**.  Admission
-failures map one-to-one onto status codes: 400 malformed, 404 unknown job,
-429 queue full (backpressure), 503 draining.
+error responses carry a one-line message, **never a traceback**, plus a
+stable ``error_kind`` (429 alone is ambiguous: queue backpressure vs. rate
+limiting).  Admission failures map onto status codes: 400 malformed,
+401/403 auth (the :class:`~repro.service.auth.AuthPolicy` middleware;
+``/v1/healthz`` stays credential-free and only POSTs spend rate-limit
+tokens), 404 unknown job, 429 queue full or rate limited (the latter with
+``Retry-After``), 503 draining.
 
 The server is a :class:`ThreadingHTTPServer`: each connection gets a
 handler thread, every handler funnels into the same
@@ -30,13 +36,18 @@ thread-safe.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro.service.auth import AuthPolicy
 from repro.service.daemon import AdvisingDaemon
 from repro.service.errors import (
+    AuthenticationError,
+    RateLimitedError,
     ServiceValidationError,
     UnknownJobError,
+    kind_for_error,
     status_for_error,
 )
 
@@ -52,9 +63,12 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, address: Tuple[str, int], advising_daemon: AdvisingDaemon,
-                 quiet: bool = True):
+                 quiet: bool = True, auth: Optional[AuthPolicy] = None):
         self.advising_daemon = advising_daemon
         self.quiet = quiet
+        #: The admission middleware; the default policy is anonymous and
+        #: unlimited, so a plain local daemon needs no configuration.
+        self.auth = auth if auth is not None else AuthPolicy()
         super().__init__(address, ServiceRequestHandler)
 
     @property
@@ -81,9 +95,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         daemon = self.server.advising_daemon
         try:
             if self.path == "/v1/healthz":
+                # Liveness stays credential-free: a router health-checking
+                # its daemons must never need a token.
                 self._reply(200, daemon.healthz())
-            elif self.path == "/v1/stats":
-                self._reply(200, daemon.stats())
+                return
+            self._authorize(spend=False)
+            if self.path == "/v1/stats":
+                stats = daemon.stats()
+                stats["auth"] = self.server.auth.describe()
+                self._reply(200, stats)
             elif self.path.startswith("/v1/jobs/"):
                 job_id = self.path[len("/v1/jobs/"):]
                 if not job_id or "/" in job_id:
@@ -97,6 +117,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         daemon = self.server.advising_daemon
         try:
+            # Submissions authenticate *and* spend a rate-limit token —
+            # they are the expensive admissions the bucket protects.
+            self._authorize(spend=True)
             body = self._read_json()
             if self.path == "/v1/advise":
                 payload = self._require(body, "request")
@@ -109,10 +132,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     202,
                     {"job_ids": job_ids, "count": len(job_ids), "state": "queued"},
                 )
+            elif self.path == "/v1/lint":
+                payload = self._require(body, "request")
+                self._reply(200, daemon.lint(payload))
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
         except Exception as exc:
             self._reply_error(exc)
+
+    def _authorize(self, spend: bool) -> str:
+        """The auth middleware: who is this, and may they do this now?"""
+        policy = self.server.auth
+        client = policy.authenticate(self.headers.get("Authorization"))
+        if spend:
+            policy.check_rate(client)
+        return client
 
     def do_PUT(self) -> None:  # noqa: N802
         self._reply(405, {"error": "method not allowed"})
@@ -154,11 +188,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 f"request body is missing the {key!r} field"
             ) from None
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict,
+               headers: Optional[Dict[str, str]] = None) -> None:
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if status >= 400:
             # An errored request may not have had its body read (405s,
             # missing Content-Length); reusing the connection would desync
@@ -172,8 +209,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         # One line, no traceback: internals never leak into the protocol.
         status = status_for_error(exc)
         message = str(exc) if status != 500 else f"internal error: {exc}"
+        body = {"error": message, "status": status,
+                "error_kind": kind_for_error(exc)}
+        headers: Dict[str, str] = {}
+        if isinstance(exc, AuthenticationError):
+            headers["WWW-Authenticate"] = "Bearer"
+        if isinstance(exc, RateLimitedError) and exc.retry_after is not None:
+            # HTTP Retry-After is whole seconds; the exact (fractional)
+            # delay also rides in the body for precise clients.
+            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
+            body["retry_after"] = round(exc.retry_after, 6)
         try:
-            self._reply(status, {"error": message, "status": status})
+            self._reply(status, body, headers=headers)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass  # the client hung up first; nothing left to tell it
 

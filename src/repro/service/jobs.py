@@ -8,12 +8,20 @@ inline :meth:`AdvisingSession.advise <repro.api.session.AdvisingSession
 .advise>` call would dump, which is what makes daemon results bit-identical
 to inline ones.
 
-The :class:`JobStore` is the daemon's only registry of jobs.  It is fully
-thread-safe (HTTP handler threads read views while worker threads advance
-states) and evicts *terminal* jobs whose results have outlived ``ttl``
-seconds, so a long-running daemon's memory is bounded by its traffic rate
-rather than its uptime.  Queued and running jobs are never evicted.  The
-clock is injectable for deterministic eviction tests.
+The :class:`JobStore` is the daemon's in-memory registry of jobs.  It is
+fully thread-safe (HTTP handler threads read views while worker threads
+advance states) and evicts *terminal* jobs whose results have outlived
+``ttl`` seconds, so a long-running daemon's memory is bounded by its
+traffic rate rather than its uptime.  Queued and running jobs are never
+evicted.  The clock is injectable for deterministic eviction tests.
+
+:class:`JobStore` and the SQLite-backed
+:class:`~repro.service.repository.JobRepository` implement one registry
+contract (:class:`JobRegistry`): the daemon talks to either
+interchangeably, and eviction is *explicit* (:meth:`JobStore.evict`) on
+both — the daemon schedules it — in addition to being piggybacked on
+access, so the two backends share one eviction story instead of each
+inventing its own.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.api.schema import API_SCHEMA_VERSION
 from repro.service.errors import UnknownJobError
@@ -59,6 +67,9 @@ class Job:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Id of the in-flight job this submission coalesced onto (``None`` for
+    #: jobs that ran — or will run — their own simulation).
+    coalesced_with: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -75,6 +86,7 @@ class Job:
             "label": self.label,
             "result": self.result,
             "error": self.error,
+            "coalesced_with": self.coalesced_with,
             "waited_seconds": (
                 round(self.started_at - self.submitted_at, 6)
                 if self.started_at is not None else None
@@ -99,11 +111,26 @@ class JobCounts:
     #: served nor as failed executions.
     aborted: int = 0
     evicted: int = 0
+    #: Submissions that attached to another job's in-flight simulation
+    #: instead of queueing their own (request coalescing).
+    coalesced: int = 0
 
     @property
     def served(self) -> int:
         """Jobs actually executed to a terminal state."""
         return self.done + self.failed
+
+    def as_dict(self) -> dict:
+        """The ``/v1/stats`` representation of these counters."""
+        return {
+            "submitted": self.submitted,
+            "done": self.done,
+            "failed": self.failed,
+            "aborted": self.aborted,
+            "evicted": self.evicted,
+            "coalesced": self.coalesced,
+            "served": self.served,
+        }
 
 
 class JobStore:
@@ -153,6 +180,14 @@ class JobStore:
             job.started_at = self._clock()
             return job
 
+    def attach(self, job_id: str, primary_id: str) -> Job:
+        """Record that ``job_id`` coalesced onto ``primary_id``'s run."""
+        with self._lock:
+            job = self._get_locked(job_id)
+            job.coalesced_with = primary_id
+            self.counts.coalesced += 1
+            return job
+
     def finish(self, job_id: str, result: Optional[dict],
                error: Optional[str]) -> Job:
         """Move an executed job to ``done``/``failed`` with its result."""
@@ -198,6 +233,19 @@ class JobStore:
         with self._lock:
             return [job.job_id for job in self._jobs.values() if not job.terminal]
 
+    def recover(self) -> List[str]:
+        """Job ids to re-enqueue after a restart.
+
+        An in-memory store forgets everything with its process, so there is
+        never anything to recover; the SQLite repository overrides this
+        with real crash recovery.  Part of the :class:`JobRegistry`
+        contract so the daemon can call it unconditionally.
+        """
+        return []
+
+    def close(self) -> None:
+        """Release backing resources (no-op for the in-memory store)."""
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._jobs)
@@ -236,3 +284,33 @@ class JobStore:
                 f"unknown job id {job_id!r} (never submitted, or its result "
                 f"outlived the {self.ttl}s retention window)"
             ) from None
+
+
+@runtime_checkable
+class JobRegistry(Protocol):
+    """The registry contract the daemon programs against.
+
+    Implemented by the in-memory :class:`JobStore` and the SQLite-backed
+    :class:`~repro.service.repository.JobRepository`.  Everything the
+    daemon, HTTP layer, and tests need from a store is here — swap
+    backends without touching callers.
+    """
+
+    ttl: Optional[float]
+    counts: JobCounts
+
+    def create(self, payload: dict, label: str, index: int = 0) -> Job: ...
+    def discard(self, job_id: str) -> None: ...
+    def mark_running(self, job_id: str) -> Job: ...
+    def attach(self, job_id: str, primary_id: str) -> Job: ...
+    def finish(self, job_id: str, result: Optional[dict],
+               error: Optional[str]) -> Job: ...
+    def abort(self, job_id: str, error: str) -> Job: ...
+    def get(self, job_id: str) -> Job: ...
+    def view(self, job_id: str) -> dict: ...
+    def pending(self) -> List[str]: ...
+    def recover(self) -> List[str]: ...
+    def evict(self) -> int: ...
+    def close(self) -> None: ...
+    def __len__(self) -> int: ...
+    def __contains__(self, job_id: str) -> bool: ...

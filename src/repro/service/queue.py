@@ -69,6 +69,20 @@ class JobQueue:
             self.admitted += len(items)
             self._not_empty.notify(len(items))
 
+    def restore(self, items: List[str]) -> None:
+        """Re-enqueue recovered job ids, bypassing the capacity bound.
+
+        Crash recovery must never reject work the daemon already admitted
+        before it died: every id a persistent store hands back from
+        :meth:`~repro.service.jobs.JobRegistry.recover` is requeued even if
+        that briefly overshoots ``capacity`` — fresh submissions still see
+        the bound (an overshot queue rejects them until it drains).
+        """
+        with self._not_empty:
+            self._items.extend(items)
+            self.admitted += len(items)
+            self._not_empty.notify(len(items))
+
     def close(self, workers: int) -> None:
         """Append one shutdown sentinel per worker (capacity-exempt)."""
         with self._not_empty:

@@ -1,0 +1,76 @@
+"""The cross-process cache lock guarding shared profile-cache directories."""
+
+import threading
+
+import pytest
+
+import repro.pipeline.cache as cache_module
+from repro.pipeline.cache import CacheLock, ProfileCache
+
+
+class TestCacheLock:
+    def test_reentrant_within_one_thread(self, tmp_path):
+        lock = CacheLock(tmp_path)
+        with lock:
+            with lock:
+                assert lock.held
+            assert lock.held
+        assert not lock.held
+
+    def test_lock_file_lives_in_the_directory(self, tmp_path):
+        lock = CacheLock(tmp_path)
+        with lock:
+            assert (tmp_path / ".cache.lock").exists()
+
+    def test_excludes_another_handle_on_the_same_directory(self, tmp_path):
+        """Two CacheLock instances (two daemons) on one directory are
+        mutually exclusive: the second blocks until the first releases."""
+        if cache_module.fcntl is None:
+            pytest.skip("no fcntl on this platform")
+        first = CacheLock(tmp_path)
+        second = CacheLock(tmp_path)
+        acquired = threading.Event()
+
+        def contend():
+            with second:
+                acquired.set()
+
+        with first:
+            thread = threading.Thread(target=contend, daemon=True)
+            thread.start()
+            assert not acquired.wait(0.3), "flock did not exclude"
+        assert acquired.wait(5.0), "lock never released"
+        thread.join(5.0)
+
+    def test_degrades_to_thread_lock_without_fcntl(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache_module, "fcntl", None)
+        lock = CacheLock(tmp_path)
+        with lock:
+            assert lock.held
+            assert lock._handle is None
+        assert not lock.held
+
+    def test_release_is_exception_safe(self, tmp_path):
+        lock = CacheLock(tmp_path)
+        with pytest.raises(RuntimeError):
+            with lock:
+                raise RuntimeError("boom")
+        assert not lock.held
+        with lock:  # still acquirable
+            assert lock.held
+
+
+class TestProfileCacheIntegration:
+    def test_cache_owns_a_lock_on_its_directory(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        assert isinstance(cache.lock, CacheLock)
+        assert cache.lock.path == tmp_path / ".cache.lock"
+
+    def test_clear_ignores_the_lock_file(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        with cache.lock:
+            pass  # materializes .cache.lock
+        cache.clear()
+        assert (tmp_path / ".cache.lock").exists() or not list(
+            tmp_path.glob("*.profile.json")
+        )

@@ -43,13 +43,17 @@ def make_service(make_daemon):
     """Factory for a running daemon + HTTP server + client triple."""
     servers = []
 
-    def make(config=None, **kwargs):
+    def make(config=None, *, auth=None, token=None,
+             rate_limit_patience=None, **kwargs):
         daemon = make_daemon(config, **kwargs)
-        server = ServiceHTTPServer(("127.0.0.1", 0), daemon)
+        server = ServiceHTTPServer(("127.0.0.1", 0), daemon, auth=auth)
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
         servers.append(server)
-        return daemon, server, ServiceClient(server.url, timeout=10.0)
+        client_kwargs = {"timeout": 10.0, "token": token}
+        if rate_limit_patience is not None:
+            client_kwargs["rate_limit_patience"] = rate_limit_patience
+        return daemon, server, ServiceClient(server.url, **client_kwargs)
 
     yield make
     for server in servers:

@@ -174,12 +174,14 @@ class TestBackpressure:
         daemon._execute = gate
         daemon.start()
 
-        first = daemon.submit(hotspot_request().to_dict())
+        # Distinct sample periods keep the requests from coalescing — this
+        # test is about queue capacity, not dedup.
+        first = daemon.submit(hotspot_request(sample_period=2).to_dict())
         # The single worker picks the first job up; the queue is empty again.
         assert wait_until(lambda: daemon.store.get(first).state == "running")
-        second = daemon.submit(hotspot_request().to_dict())  # fills the queue
+        second = daemon.submit(hotspot_request(sample_period=4).to_dict())
         with pytest.raises(QueueFullError) as excinfo:
-            daemon.submit(hotspot_request().to_dict())
+            daemon.submit(hotspot_request(sample_period=8).to_dict())
         assert "full" in str(excinfo.value)
         # The rejected submission left no trace.
         assert daemon.store.counts.submitted == 2
@@ -187,7 +189,7 @@ class TestBackpressure:
         gate.gate.set()
         assert wait_until(lambda: daemon.store.get(second).terminal)
         # Capacity is available again after the drain.
-        third = daemon.submit(hotspot_request().to_dict())
+        third = daemon.submit(hotspot_request(sample_period=16).to_dict())
         assert wait_until(lambda: daemon.store.get(third).terminal)
 
 
@@ -260,8 +262,11 @@ class TestShutdown:
         daemon = make_daemon(start=False, workers=1, queue_capacity=8)
         daemon._execute = gate
         daemon.start()
+        # Distinct periods: identical submissions would coalesce onto the
+        # running job and be served by its fan-out instead of aborted.
         running, queued_a, queued_b = [
-            daemon.submit(hotspot_request().to_dict()) for _ in range(3)
+            daemon.submit(hotspot_request(sample_period=period).to_dict())
+            for period in (2, 4, 8)
         ]
         assert wait_until(lambda: daemon.store.get(running).state == "running")
 

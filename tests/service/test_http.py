@@ -167,7 +167,9 @@ class TestFailureModes:
 
         daemon._execute = gated_execute
         daemon.start()
-        first = client.submit(hotspot_request())
+        # Distinct periods so nothing coalesces — backpressure needs real
+        # queue entries.
+        first = client.submit(hotspot_request(sample_period=2))
         # Wait for the worker to occupy itself with the first job.
         import time
 
@@ -175,12 +177,12 @@ class TestFailureModes:
         while daemon.store.get(first).state != "running":
             assert time.monotonic() < deadline
             time.sleep(0.01)
-        client.submit(hotspot_request())  # fills the queue
+        client.submit(hotspot_request(sample_period=4))  # fills the queue
         with pytest.raises(QueueFullError):
-            client.submit(hotspot_request())
+            client.submit(hotspot_request(sample_period=8))
         status, body = raw_request(
             f"{server.url}/v1/advise", "POST",
-            json.dumps({"request": hotspot_request().to_dict()}),
+            json.dumps({"request": hotspot_request(sample_period=16).to_dict()}),
         )
         assert status == 429
         assert "full" in body["error"]

@@ -1,0 +1,267 @@
+"""Unit tests of the SQLite job repository: durability, recovery, eviction.
+
+Mirrors ``test_jobs.py`` where the :class:`JobRegistry` contract is shared,
+and adds what only a persistent store can promise: results that survive a
+close/reopen byte-identically, crash recovery that re-queues the interrupted
+backlog, and a schema guard that refuses stores written by other builds.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.api.schema import API_SCHEMA_VERSION
+from repro.service.errors import UnknownJobError
+from repro.service.jobs import JobRegistry, JobStore
+from repro.service.repository import (
+    REPOSITORY_SCHEMA_VERSION,
+    JobRepository,
+    RepositoryStateError,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+PAYLOAD = {"kind": "advising_request", "schema_version": API_SCHEMA_VERSION}
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "jobs.sqlite3"
+
+
+@pytest.fixture
+def repo(store_path):
+    repository = JobRepository(store_path, ttl=None)
+    yield repository
+    repository.close()
+
+
+class TestContract:
+    def test_satisfies_the_job_registry_protocol(self, repo):
+        assert isinstance(repo, JobRegistry)
+        assert isinstance(JobStore(), JobRegistry)
+
+    def test_lifecycle(self, repo):
+        job = repo.create(PAYLOAD, "case-a")
+        assert job.state == "queued" and not job.terminal
+        assert job.job_id in repo and len(repo) == 1
+
+        repo.mark_running(job.job_id)
+        assert repo.get(job.job_id).state == "running"
+
+        repo.finish(job.job_id, {"ok": True}, None)
+        finished = repo.get(job.job_id)
+        assert finished.state == "done" and finished.terminal
+        assert finished.result == {"ok": True}
+        counts = repo.counts
+        assert counts.submitted == 1 and counts.done == 1
+        assert counts.served == 1
+
+    def test_error_marks_failed(self, repo):
+        job = repo.create(PAYLOAD, "case-b")
+        repo.mark_running(job.job_id)
+        repo.finish(job.job_id, None, "boom\n  traceback")
+        failed = repo.get(job.job_id)
+        assert failed.state == "failed"
+        assert failed.error == "boom\n  traceback"
+        assert repo.counts.failed == 1
+
+    def test_abort_counts_separately(self, repo):
+        job = repo.create(PAYLOAD, "case-c")
+        repo.abort(job.job_id, "shutting down")
+        assert repo.get(job.job_id).state == "failed"
+        assert repo.counts.aborted == 1 and repo.counts.failed == 0
+
+    def test_unknown_job(self, repo):
+        with pytest.raises(UnknownJobError, match="nope"):
+            repo.get("nope")
+        with pytest.raises(UnknownJobError):
+            repo.finish("nope", {}, None)
+
+    def test_discard_reverses_create(self, repo):
+        job = repo.create(PAYLOAD, "case-d")
+        repo.discard(job.job_id)
+        assert job.job_id not in repo
+        assert repo.counts.submitted == 0
+        repo.discard("never-there")  # idempotent
+
+    def test_attach_records_coalescing(self, repo):
+        primary = repo.create(PAYLOAD, "case-e")
+        follower = repo.create(PAYLOAD, "case-e")
+        attached = repo.attach(follower.job_id, primary.job_id)
+        assert attached.coalesced_with == primary.job_id
+        assert repo.counts.coalesced == 1
+        assert repo.view(follower.job_id)["coalesced_with"] == primary.job_id
+
+    def test_view_matches_in_memory_store_shape(self, repo):
+        job = repo.create(PAYLOAD, "case-f")
+        reference = JobStore().create(PAYLOAD, "case-f")
+        assert set(repo.view(job.job_id)) == set(reference.view())
+
+
+class TestDurability:
+    def test_results_survive_reopen_byte_identically(self, store_path):
+        result = {"kind": "advising_result", "zeta": 1, "alpha": [2, {"b": 3}]}
+        repo = JobRepository(store_path, ttl=None)
+        job = repo.create(PAYLOAD, "case-a")
+        repo.mark_running(job.job_id)
+        repo.finish(job.job_id, result, None)
+        before = json.dumps(repo.view(job.job_id), sort_keys=True)
+        repo.close()
+
+        reopened = JobRepository(store_path, ttl=None)
+        try:
+            after = json.dumps(reopened.view(job.job_id), sort_keys=True)
+            assert after == before
+            # Key order inside the result dict round-trips too.
+            replayed = reopened.get(job.job_id).result
+            assert json.dumps(replayed) == json.dumps(result)
+        finally:
+            reopened.close()
+
+    def test_counters_survive_reopen(self, store_path):
+        repo = JobRepository(store_path, ttl=None)
+        job = repo.create(PAYLOAD, "case-a")
+        repo.finish(job.job_id, {"ok": True}, None)
+        repo.close()
+        reopened = JobRepository(store_path, ttl=None)
+        try:
+            counts = reopened.counts
+            assert counts.submitted == 1 and counts.done == 1
+        finally:
+            reopened.close()
+
+    def test_recover_requeues_running_jobs_in_order(self, store_path):
+        repo = JobRepository(store_path, ttl=None)
+        first = repo.create(PAYLOAD, "case-a")
+        second = repo.create(PAYLOAD, "case-b")
+        third = repo.create(PAYLOAD, "case-c")
+        repo.mark_running(second.job_id)
+        repo.finish(third.job_id, {"ok": True}, None)
+        repo.close()
+
+        reopened = JobRepository(store_path, ttl=None)
+        try:
+            recovered = reopened.recover()
+            # Submission order, interrupted 'running' job healed to queued.
+            assert recovered == [first.job_id, second.job_id]
+            healed = reopened.get(second.job_id)
+            assert healed.state == "queued" and healed.started_at is None
+            # Settled jobs are untouched.
+            assert reopened.get(third.job_id).state == "done"
+        finally:
+            reopened.close()
+
+    def test_in_memory_store_recover_is_empty(self):
+        store = JobStore()
+        store.create(PAYLOAD, "case-a")
+        assert store.recover() == []
+
+
+class TestSchemaGuard:
+    def test_repository_schema_mismatch_refuses_to_open(self, store_path):
+        JobRepository(store_path).close()
+        conn = sqlite3.connect(str(store_path))
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'repository_schema'",
+            (str(REPOSITORY_SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(RepositoryStateError, match="repository_schema"):
+            JobRepository(store_path)
+
+    def test_api_schema_mismatch_refuses_to_open(self, store_path):
+        JobRepository(store_path).close()
+        conn = sqlite3.connect(str(store_path))
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'api_schema'",
+            (str(API_SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(RepositoryStateError, match="api_schema"):
+            JobRepository(store_path)
+
+    def test_invalid_ttl_rejected(self, store_path):
+        with pytest.raises(ValueError, match="ttl"):
+            JobRepository(store_path, ttl=0)
+
+
+class TestEviction:
+    def test_terminal_jobs_evicted_after_ttl(self, store_path):
+        clock = FakeClock()
+        repo = JobRepository(store_path, ttl=10.0, clock=clock)
+        try:
+            done = repo.create(PAYLOAD, "case-a")
+            repo.finish(done.job_id, {"ok": True}, None)
+            queued = repo.create(PAYLOAD, "case-b")
+
+            clock.advance(11.0)
+            assert repo.evict() == 1
+            assert done.job_id not in repo
+            # Non-terminal jobs are never evicted.
+            assert queued.job_id in repo
+            assert repo.counts.evicted == 1
+        finally:
+            repo.close()
+
+    def test_eviction_piggybacks_on_access(self, store_path):
+        clock = FakeClock()
+        repo = JobRepository(store_path, ttl=10.0, clock=clock)
+        try:
+            done = repo.create(PAYLOAD, "case-a")
+            repo.finish(done.job_id, {"ok": True}, None)
+            clock.advance(11.0)
+            with pytest.raises(UnknownJobError, match="retention"):
+                repo.get(done.job_id)
+        finally:
+            repo.close()
+
+    def test_shared_eviction_contract_with_in_memory_store(self):
+        clock = FakeClock()
+        store = JobStore(ttl=10.0, clock=clock)
+        done = store.create(PAYLOAD, "case-a")
+        store.finish(done.job_id, {"ok": True}, None)
+        clock.advance(11.0)
+        assert store.evict() == 1
+        assert done.job_id not in store
+        assert store.counts.evicted == 1
+
+    def test_ttl_none_never_evicts(self, store_path):
+        clock = FakeClock()
+        repo = JobRepository(store_path, ttl=None, clock=clock)
+        try:
+            done = repo.create(PAYLOAD, "case-a")
+            repo.finish(done.job_id, {"ok": True}, None)
+            clock.advance(1e9)
+            assert repo.evict() == 0
+            assert done.job_id in repo
+        finally:
+            repo.close()
+
+
+class TestMultiHandle:
+    def test_two_handles_share_one_store(self, store_path):
+        """Two open repositories (two daemons on one host) see each other."""
+        a = JobRepository(store_path, ttl=None)
+        b = JobRepository(store_path, ttl=None)
+        try:
+            job = a.create(PAYLOAD, "case-a")
+            a.finish(job.job_id, {"ok": True}, None)
+            assert b.get(job.job_id).state == "done"
+            assert b.counts.done == 1
+        finally:
+            a.close()
+            b.close()
