@@ -151,6 +151,33 @@ def check(fresh: dict, reference: dict, max_drop: float) -> str:
     return ""
 
 
+def history_entry(fresh: dict, gate_error: str, recorded: str) -> dict:
+    """One ``BENCH_history.jsonl`` line for this gated run.
+
+    Every gated run is recorded — passes and failures alike — so the fleet
+    dashboard's throughput trajectory shows the dip that tripped the gate,
+    not just the runs that survived it.  Only the identity fields and the
+    headline rate are kept; full summaries stay in the CI artifacts.
+    """
+    blocks = []
+    for block in blocks_of(fresh, "fresh"):
+        entry = {key: block.get(key, default) for key, default in IDENTITY}
+        entry["cycles_per_second"] = block.get("cycles_per_second")
+        blocks.append(entry)
+    return {
+        "benchmark": "simulator_smoke",
+        "recorded": recorded,
+        "gate": "fail" if gate_error else "ok",
+        "blocks": blocks,
+    }
+
+
+def append_history(path: Path, entry: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly measured simulator_smoke JSON")
@@ -158,11 +185,27 @@ def main(argv=None) -> int:
                         help="committed baseline JSON (default: repo root)")
     parser.add_argument("--max-drop", type=float, default=0.30, metavar="FRACTION",
                         help="maximum tolerated throughput drop (default 0.30)")
+    parser.add_argument("--append-history", default=None, metavar="PATH",
+                        help="append this run (pass or fail) as one line of "
+                        "BENCH_history.jsonl for the fleet trend dashboard")
     args = parser.parse_args(argv)
 
     fresh = json.loads(Path(args.fresh).read_text())
     reference = json.loads(Path(args.reference).read_text())
     error = check(fresh, reference, args.max_drop)
+    if args.append_history:
+        from datetime import datetime, timezone
+
+        recorded = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        try:
+            append_history(
+                Path(args.append_history),
+                history_entry(fresh, error, recorded),
+            )
+        except ValueError as exc:
+            # A malformed summary already fails the gate below; don't let
+            # history bookkeeping mask that verdict with a traceback.
+            print(f"history not recorded: {exc}", file=sys.stderr)
     if error:
         print(f"FAIL: {error}", file=sys.stderr)
         return 1

@@ -1,0 +1,35 @@
+"""Exit codes shared by the evaluation CLIs.
+
+A scheduled sweep needs to distinguish *why* a leg went red: a case that
+failed evaluation is a result (re-running the leg reproduces it; the sweep
+is complete but not green), while an infrastructure error — a dead daemon,
+an unreadable plan, a lost checkpoint directory — is retryable.  The fleet
+shard matrix keys its retry policy off these codes, so they are defined
+once and used by both ``python -m repro.evaluation.table3`` and
+``python -m repro.evaluation.fleet``.
+
+``EXIT_USAGE`` matches :mod:`argparse`'s own convention for bad command
+lines; the other codes are disjoint from it by construction.
+"""
+
+#: Everything ran and every case passed.
+EXIT_OK = 0
+#: An infrastructure error: the harness itself failed before or between
+#: cases (bad plan file, unreachable service, checkpoint I/O).  Retryable.
+EXIT_INFRA = 1
+#: Bad command line (argparse's convention).
+EXIT_USAGE = 2
+#: The sweep itself completed, but one or more cases failed evaluation and
+#: are recorded in the failure ledger.  Re-running will not change this.
+EXIT_CASES_FAILED = 3
+#: The run stopped before covering every planned unit (``--stop-after``
+#: preemption, or a merge over incomplete checkpoints).  Resume to finish.
+EXIT_INCOMPLETE = 4
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_INFRA",
+    "EXIT_USAGE",
+    "EXIT_CASES_FAILED",
+    "EXIT_INCOMPLETE",
+]

@@ -1,0 +1,84 @@
+"""Sharded, resumable fleet evaluation of the benchmark registry.
+
+The fleet subsystem scales the Table 3 sweep from one serial CI job to a
+checkpointed shard matrix:
+
+* :mod:`repro.evaluation.fleet.plan` — :class:`EvaluationPlan` enumerates
+  the case x configuration matrix into deterministic shards (stable unit
+  fingerprints digesting case label + knobs);
+* :mod:`repro.evaluation.fleet.runner` — :class:`ShardRunner` executes one
+  shard through anything satisfying the :class:`~repro.api.advisor
+  .Advisor` protocol (inline session or service client), writing an atomic
+  per-unit checkpoint so a killed sweep resumes instead of restarting;
+* :mod:`repro.evaluation.fleet.merge` — folds shard checkpoints into one
+  canonical sweep artifact (per-configuration error geomeans, failure
+  ledger) that is byte-identical however the sweep was partitioned or
+  interrupted;
+* :mod:`repro.evaluation.fleet.report` — renders the artifact history and
+  the benchmark trajectory into a static, stdlib-only HTML dashboard.
+
+CLI: ``python -m repro.evaluation.fleet plan|run|merge|report`` (see
+``docs/EVALUATION.md``).
+"""
+
+from repro.evaluation.fleet.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    ShardCheckpoint,
+    UnitRecord,
+    checkpoint_path,
+    load_checkpoint,
+    store_checkpoint,
+)
+from repro.evaluation.fleet.merge import (
+    SWEEP_SCHEMA_VERSION,
+    MergeOutcome,
+    artifact_json,
+    collect_checkpoints,
+    load_artifact,
+    merge_checkpoints,
+)
+from repro.evaluation.fleet.plan import (
+    FLEET_FINGERPRINT_VERSION,
+    PLAN_SCHEMA_VERSION,
+    EvaluationPlan,
+    FleetError,
+    SweepConfiguration,
+    WorkUnit,
+    build_plan,
+)
+from repro.evaluation.fleet.report import render_report
+from repro.evaluation.fleet.runner import (
+    CaseFailure,
+    ShardRunner,
+    ShardRunSummary,
+    evaluate_unit,
+    unit_request,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "FLEET_FINGERPRINT_VERSION",
+    "PLAN_SCHEMA_VERSION",
+    "SWEEP_SCHEMA_VERSION",
+    "CaseFailure",
+    "EvaluationPlan",
+    "FleetError",
+    "MergeOutcome",
+    "ShardCheckpoint",
+    "ShardRunSummary",
+    "ShardRunner",
+    "SweepConfiguration",
+    "UnitRecord",
+    "WorkUnit",
+    "artifact_json",
+    "build_plan",
+    "checkpoint_path",
+    "collect_checkpoints",
+    "evaluate_unit",
+    "load_artifact",
+    "load_checkpoint",
+    "merge_checkpoints",
+    "render_report",
+    "store_checkpoint",
+    "unit_request",
+]

@@ -1,0 +1,206 @@
+"""Atomic, resumable per-shard checkpoints.
+
+A :class:`ShardCheckpoint` records the outcome of every unit a shard has
+finished — success outcomes and captured case failures alike — keyed by
+the unit's plan-independent fingerprint.  The file on disk is rewritten
+after **every** completed unit via write-to-temp + :func:`os.replace`, so
+a shard killed at any instant (including SIGKILL mid-write) leaves either
+the previous complete checkpoint or the new complete checkpoint, never a
+torn one.
+
+Loading is deliberately forgiving: a missing, truncated, corrupt,
+wrong-schema, wrong-plan or wrong-shard file is treated as **absent** (the
+shard restarts from zero) rather than an error — a damaged checkpoint must
+never be able to wedge a sweep that could simply re-run.  The reason the
+file was ignored is surfaced so the operator can see *that* a resume
+restarted, and why.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.evaluation.fleet.plan import FleetError
+
+#: Version of the checkpoint wire form.  A bump orphans old checkpoints
+#: (they load as absent), which is exactly the safe behaviour: re-run.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class UnitRecord:
+    """What happened to one completed unit: an outcome or a case failure."""
+
+    fingerprint: str
+    case_id: str
+    config_key: str
+    #: The Table 3 outcome dict (plain JSON types) when the case evaluated.
+    outcome: Optional[dict] = None
+    #: The captured traceback when the case failed evaluation.
+    error: Optional[str] = None
+    #: Wall-clock seconds this unit took.  Informational only — the merge
+    #: step must ignore it, so an interrupted-and-resumed sweep folds to
+    #: the same bytes as an uninterrupted one.
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "case": self.case_id,
+            "config": self.config_key,
+            "outcome": self.outcome,
+            "error": self.error,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "UnitRecord":
+        if not isinstance(payload, dict):
+            raise FleetError(
+                f"expected a unit record dict, got {type(payload).__name__}"
+            )
+        try:
+            return cls(
+                fingerprint=payload["fingerprint"],
+                case_id=payload["case"],
+                config_key=payload["config"],
+                outcome=payload.get("outcome"),
+                error=payload.get("error"),
+                duration=payload.get("duration", 0.0),
+            )
+        except KeyError as exc:
+            raise FleetError(f"unit record is missing {exc}") from exc
+
+
+@dataclass
+class ShardCheckpoint:
+    """Every completed unit of one shard, keyed by unit fingerprint."""
+
+    plan_id: str
+    shard: int
+    entries: Dict[str, UnitRecord] = field(default_factory=dict)
+
+    def record(self, record: UnitRecord) -> None:
+        self.entries[record.fingerprint] = record
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "fleet_checkpoint",
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "plan_id": self.plan_id,
+            "shard": self.shard,
+            "entries": {
+                fingerprint: record.to_dict()
+                for fingerprint, record in sorted(self.entries.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardCheckpoint":
+        if not isinstance(payload, dict):
+            raise FleetError(
+                f"expected a checkpoint dict, got {type(payload).__name__}"
+            )
+        if payload.get("kind") != "fleet_checkpoint":
+            raise FleetError(
+                f"expected a fleet_checkpoint payload, got kind "
+                f"{payload.get('kind')!r}"
+            )
+        if payload.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+            raise FleetError(
+                f"checkpoint schema version {payload.get('schema_version')!r} "
+                f"(this build speaks {CHECKPOINT_SCHEMA_VERSION})"
+            )
+        entries_payload = payload.get("entries")
+        if not isinstance(entries_payload, dict):
+            raise FleetError("checkpoint has no entries mapping")
+        entries = {}
+        for fingerprint, record_payload in entries_payload.items():
+            record = UnitRecord.from_dict(record_payload)
+            if record.fingerprint != fingerprint:
+                raise FleetError(
+                    f"checkpoint entry keyed {fingerprint!r} states "
+                    f"fingerprint {record.fingerprint!r}"
+                )
+            entries[fingerprint] = record
+        try:
+            return cls(
+                plan_id=payload["plan_id"],
+                shard=payload["shard"],
+                entries=entries,
+            )
+        except KeyError as exc:
+            raise FleetError(f"checkpoint is missing {exc}") from exc
+
+
+def checkpoint_path(directory: Union[str, Path], shard: int) -> Path:
+    return Path(directory) / f"shard-{shard:04d}.checkpoint.json"
+
+
+def store_checkpoint(directory: Union[str, Path], checkpoint: ShardCheckpoint) -> Path:
+    """Atomically (re)write a shard's checkpoint file.
+
+    The temp file lives in the target directory so :func:`os.replace` is a
+    same-filesystem rename; the payload is flushed and fsynced first, so a
+    crash immediately after the replace cannot surface a half-written file.
+    """
+    path = checkpoint_path(directory, checkpoint.shard)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    payload = json.dumps(checkpoint.to_dict(), indent=2, sort_keys=True) + "\n"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(
+    directory: Union[str, Path], plan_id: str, shard: int
+) -> Tuple[ShardCheckpoint, str]:
+    """Load a shard's checkpoint, treating anything unusable as absent.
+
+    Returns ``(checkpoint, reason)``: a fresh empty checkpoint and a
+    human-readable reason whenever the on-disk file was missing, corrupt,
+    or written for a different plan/shard/schema — the resume then simply
+    re-runs everything, which is always safe.
+    """
+    path = checkpoint_path(directory, shard)
+    fresh = ShardCheckpoint(plan_id=plan_id, shard=shard)
+    if not path.exists():
+        return fresh, ""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        checkpoint = ShardCheckpoint.from_dict(payload)
+    except (OSError, ValueError, FleetError) as exc:
+        return fresh, f"ignoring unusable checkpoint {path.name}: {exc}"
+    if checkpoint.plan_id != plan_id:
+        return fresh, (
+            f"ignoring checkpoint {path.name}: written for plan "
+            f"{checkpoint.plan_id!r}, this sweep is plan {plan_id!r}"
+        )
+    if checkpoint.shard != shard:
+        return fresh, (
+            f"ignoring checkpoint {path.name}: records shard "
+            f"{checkpoint.shard}, expected {shard}"
+        )
+    return checkpoint, ""
+
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "ShardCheckpoint",
+    "UnitRecord",
+    "checkpoint_path",
+    "load_checkpoint",
+    "store_checkpoint",
+]

@@ -248,13 +248,23 @@ def table3_payload(result: Table3Result, config: dict) -> dict:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """``python -m repro.evaluation.table3``: sweep the registry, write the table.
 
-    Exits non-zero when any case failed, so a scheduled sweep turns red
-    instead of silently shrinking the table.
+    Exits non-zero when anything went wrong, and distinguishes *results*
+    from *infrastructure* (see :mod:`repro.evaluation.exitcodes`): cases
+    that failed evaluation exit 3 — the sweep ran, the data is red — while
+    an exception out of the harness itself exits 1, telling CI the leg is
+    retryable rather than the numbers bad.
     """
     import argparse
     import json
     import sys
+    import traceback
     from pathlib import Path
+
+    from repro.evaluation.exitcodes import (
+        EXIT_CASES_FAILED,
+        EXIT_INFRA,
+        EXIT_OK,
+    )
 
     from repro.sampling.memory import MEMORY_MODELS
     from repro.sampling.profiler import SIMULATION_SCOPES
@@ -301,17 +311,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  {event.step:55s} {status} ({event.duration:.2f}s)",
               file=sys.stderr, flush=True)
 
-    result = evaluate_table3(
-        cases,
-        sample_period=args.sample_period,
-        jobs=args.jobs,
-        arch_flag=args.arch_flag,
-        cache_dir=args.cache_dir,
-        progress=progress,
-        simulation_scope=args.simulation_scope,
-        memory_model=args.memory_model,
-        simulator_backend=args.simulator_backend,
-    )
+    try:
+        result = evaluate_table3(
+            cases,
+            sample_period=args.sample_period,
+            jobs=args.jobs,
+            arch_flag=args.arch_flag,
+            cache_dir=args.cache_dir,
+            progress=progress,
+            simulation_scope=args.simulation_scope,
+            memory_model=args.memory_model,
+            simulator_backend=args.simulator_backend,
+        )
+    except Exception:
+        traceback.print_exc()
+        print("sweep harness failed before producing a table; retry the run",
+              file=sys.stderr)
+        return EXIT_INFRA
     rendered = format_table3(result)
     if args.text == "-":
         print(rendered)
@@ -331,8 +347,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if result.failures:
         print(f"{len(result.failures)} case(s) failed", file=sys.stderr)
-        return 1
-    return 0
+        return EXIT_CASES_FAILED
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,111 @@
+"""Checkpoint atomicity and the forgiving-load contract."""
+
+import json
+
+from repro.evaluation.fleet.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    ShardCheckpoint,
+    UnitRecord,
+    checkpoint_path,
+    load_checkpoint,
+    store_checkpoint,
+)
+
+
+def record(fingerprint="f" * 20, case="a/two", error=None):
+    return UnitRecord(
+        fingerprint=fingerprint,
+        case_id=case,
+        config_key="single_wave+flat+sm_70+p8",
+        outcome=None if error else {"achieved_speedup": 1.5},
+        error=error,
+        duration=0.25,
+    )
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        checkpoint = ShardCheckpoint(plan_id="abc", shard=2)
+        checkpoint.record(record("1" * 20))
+        checkpoint.record(record("2" * 20, error="Traceback...\nValueError: x"))
+        store_checkpoint(tmp_path, checkpoint)
+
+        loaded, reason = load_checkpoint(tmp_path, "abc", 2)
+        assert reason == ""
+        assert loaded.entries.keys() == checkpoint.entries.keys()
+        assert loaded.entries["1" * 20].ok
+        assert not loaded.entries["2" * 20].ok
+        assert loaded.entries["2" * 20].error.endswith("ValueError: x")
+
+    def test_rewrite_leaves_no_temp_files(self, tmp_path):
+        checkpoint = ShardCheckpoint(plan_id="abc", shard=0)
+        for index in range(5):
+            checkpoint.record(record(f"{index}" * 20))
+            store_checkpoint(tmp_path, checkpoint)
+        assert [p.name for p in tmp_path.iterdir()] == [
+            checkpoint_path(tmp_path, 0).name
+        ]
+
+    def test_missing_is_fresh_without_complaint(self, tmp_path):
+        loaded, reason = load_checkpoint(tmp_path, "abc", 0)
+        assert loaded.entries == {}
+        assert reason == ""
+
+
+class TestUnusableFilesLoadAsAbsent:
+    def test_truncated_json(self, tmp_path):
+        path = checkpoint_path(tmp_path, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        good = ShardCheckpoint(plan_id="abc", shard=0)
+        good.record(record())
+        store_checkpoint(tmp_path, good)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+        loaded, reason = load_checkpoint(tmp_path, "abc", 0)
+        assert loaded.entries == {}
+        assert "unusable checkpoint" in reason
+
+    def test_wrong_plan(self, tmp_path):
+        checkpoint = ShardCheckpoint(plan_id="other-plan", shard=0)
+        checkpoint.record(record())
+        store_checkpoint(tmp_path, checkpoint)
+        loaded, reason = load_checkpoint(tmp_path, "abc", 0)
+        assert loaded.entries == {}
+        assert "other-plan" in reason
+
+    def test_wrong_schema(self, tmp_path):
+        checkpoint = ShardCheckpoint(plan_id="abc", shard=0)
+        store_checkpoint(tmp_path, checkpoint)
+        path = checkpoint_path(tmp_path, 0)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+        payload["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        loaded, reason = load_checkpoint(tmp_path, "abc", 0)
+        assert loaded.entries == {}
+        assert "schema version" in reason
+
+    def test_entry_key_fingerprint_mismatch(self, tmp_path):
+        checkpoint = ShardCheckpoint(plan_id="abc", shard=0)
+        checkpoint.record(record("1" * 20))
+        store_checkpoint(tmp_path, checkpoint)
+        path = checkpoint_path(tmp_path, 0)
+        payload = json.loads(path.read_text())
+        payload["entries"]["9" * 20] = payload["entries"].pop("1" * 20)
+        path.write_text(json.dumps(payload))
+        loaded, reason = load_checkpoint(tmp_path, "abc", 0)
+        assert loaded.entries == {}
+        assert "fingerprint" in reason
+
+    def test_shard_mismatch_between_name_and_payload(self, tmp_path):
+        # shard-0003's bytes copied over shard-0001: content wins, file is
+        # ignored for shard 1 rather than replaying another shard's units.
+        checkpoint = ShardCheckpoint(plan_id="abc", shard=3)
+        checkpoint.record(record())
+        store_checkpoint(tmp_path, checkpoint)
+        checkpoint_path(tmp_path, 1).write_bytes(
+            checkpoint_path(tmp_path, 3).read_bytes()
+        )
+        loaded, reason = load_checkpoint(tmp_path, "abc", 1)
+        assert loaded.entries == {}
+        assert "records shard" in reason

@@ -1,0 +1,166 @@
+"""Merge properties: order independence, fixed point, shard independence."""
+
+import pytest
+
+from repro.evaluation.fleet.checkpoint import ShardCheckpoint, UnitRecord
+from repro.evaluation.fleet.merge import (
+    artifact_json,
+    merge_checkpoints,
+)
+from repro.evaluation.fleet.plan import (
+    EvaluationPlan,
+    FleetError,
+    SweepConfiguration,
+)
+
+
+def make_plan(num_shards=1, cases=("a/one", "b/two", "c/three")):
+    return EvaluationPlan(
+        case_ids=tuple(cases),
+        configurations=(SweepConfiguration(),
+                        SweepConfiguration(memory_model="hierarchy")),
+        num_shards=num_shards,
+    )
+
+
+def filled_checkpoints(plan, fail=(), skip=(), duration=0.0):
+    """Complete checkpoints for ``plan`` with synthetic outcomes."""
+    checkpoints = [
+        ShardCheckpoint(plan_id=plan.plan_id, shard=shard)
+        for shard in range(plan.num_shards)
+    ]
+    for unit in plan.units():
+        if unit.case_id in skip:
+            continue
+        record = UnitRecord(
+            fingerprint=unit.fingerprint,
+            case_id=unit.case_id,
+            config_key=unit.config.key,
+            duration=duration,
+        )
+        if unit.case_id in fail:
+            record.error = "Traceback ...\nRuntimeError: boom"
+        else:
+            seed = (len(unit.case_id) % 3) + 1
+            record.outcome = {
+                "case_id": unit.case_id,
+                "baseline_cycles": 100.0 * seed,
+                "optimized_cycles": 50.0 * seed,
+                "achieved_speedup": 2.0,
+                "estimated_speedup": 1.5 * seed,
+                "error": 0.05 * seed,
+                "optimizer_rank": 1,
+                "total_samples": 7 * seed,
+            }
+        checkpoints[plan.shard_of(unit)].record(record)
+    return checkpoints
+
+
+class TestProperties:
+    def test_order_independent(self):
+        plan = make_plan(num_shards=3)
+        checkpoints = filled_checkpoints(plan)
+        forward = merge_checkpoints(plan, checkpoints)
+        backward = merge_checkpoints(plan, list(reversed(checkpoints)))
+        assert artifact_json(forward.artifact) == artifact_json(backward.artifact)
+
+    def test_fixed_point(self):
+        plan = make_plan(num_shards=2)
+        checkpoints = filled_checkpoints(plan, fail={"b/two"})
+        first = artifact_json(merge_checkpoints(plan, checkpoints).artifact)
+        second = artifact_json(merge_checkpoints(plan, checkpoints).artifact)
+        assert first == second
+
+    def test_shard_count_never_shows_in_the_artifact(self):
+        # The same surface partitioned 1-wide and 5-wide folds to identical
+        # bytes — the property the CI fleet-smoke asserts end to end.
+        narrow = make_plan(num_shards=1)
+        wide = make_plan(num_shards=5)
+        narrow_bytes = artifact_json(
+            merge_checkpoints(narrow, filled_checkpoints(narrow)).artifact
+        )
+        wide_bytes = artifact_json(
+            merge_checkpoints(wide, filled_checkpoints(wide)).artifact
+        )
+        assert narrow_bytes == wide_bytes
+
+    def test_durations_never_show_in_the_artifact(self):
+        plan = make_plan()
+        fast = merge_checkpoints(plan, filled_checkpoints(plan, duration=0.1))
+        slow = merge_checkpoints(plan, filled_checkpoints(plan, duration=9.9))
+        assert artifact_json(fast.artifact) == artifact_json(slow.artifact)
+
+
+class TestLedger:
+    def test_failures_are_ledgered_per_configuration(self):
+        plan = make_plan()
+        outcome = merge_checkpoints(plan, filled_checkpoints(plan, fail={"b/two"}))
+        assert outcome.complete
+        assert outcome.failures == 2  # one per configuration
+        for config in outcome.artifact["configurations"]:
+            assert config["cases_failed"] == 1
+            (failure,) = config["failures"]
+            assert failure["case"] == "b/two"
+            assert failure["error"] == "RuntimeError: boom"
+        assert outcome.artifact["failures_total"] == 2
+
+    def test_missing_units_are_ledgered(self):
+        plan = make_plan()
+        outcome = merge_checkpoints(plan, filled_checkpoints(plan, skip={"c/three"}))
+        assert not outcome.complete
+        assert sorted(outcome.missing) == [
+            ("c/three", "single_wave+flat+sm_70+p8"),
+            ("c/three", "single_wave+hierarchy+sm_70+p8"),
+        ]
+        assert outcome.artifact["complete"] is False
+        assert len(outcome.artifact["missing"]) == 2
+
+    def test_geomeans_mirror_table3_conventions(self):
+        plan = make_plan()
+        outcome = merge_checkpoints(plan, filled_checkpoints(plan))
+        for config in outcome.artifact["configurations"]:
+            assert config["cases_ok"] == 3
+            assert config["geomean_achieved"] == pytest.approx(2.0)
+            assert config["geomean_error"] > 0.0  # floored, never zero
+
+
+class TestRobustness:
+    def test_wrong_plan_checkpoint_is_an_infra_error(self):
+        plan = make_plan()
+        alien = ShardCheckpoint(plan_id="someone-else", shard=0)
+        with pytest.raises(FleetError, match="belongs to plan"):
+            merge_checkpoints(plan, [alien])
+
+    def test_duplicate_entries_resolve_deterministically(self):
+        plan = make_plan(num_shards=1)
+        (checkpoint,) = filled_checkpoints(plan)
+        # A hand-copied second checkpoint holding a *different* outcome for
+        # an already-covered unit must not change the artifact: lower shard
+        # wins, and the artifact only depends on the entry set.
+        rogue = ShardCheckpoint(plan_id=plan.plan_id, shard=0)
+        unit = plan.units()[0]
+        rogue.record(UnitRecord(
+            fingerprint=unit.fingerprint, case_id=unit.case_id,
+            config_key=unit.config.key,
+            outcome={"achieved_speedup": 99.0, "estimated_speedup": 99.0,
+                     "error": 0.99, "baseline_cycles": 1.0,
+                     "optimized_cycles": 1.0, "optimizer_rank": None,
+                     "total_samples": 0},
+        ))
+        clean = artifact_json(merge_checkpoints(plan, [checkpoint]).artifact)
+        with_rogue = artifact_json(
+            merge_checkpoints(plan, [checkpoint, rogue]).artifact
+        )
+        assert clean == with_rogue
+
+    def test_entries_outside_the_plan_are_dropped(self):
+        plan = make_plan()
+        checkpoints = filled_checkpoints(plan)
+        checkpoints[0].record(UnitRecord(
+            fingerprint="f" * 20, case_id="x/alien",
+            config_key="single_wave+flat+sm_70+p8",
+            outcome={"achieved_speedup": 1.0},
+        ))
+        outcome = merge_checkpoints(plan, checkpoints)
+        assert outcome.complete
+        assert "x/alien" not in artifact_json(outcome.artifact)

@@ -1,0 +1,168 @@
+"""The shard runner's resume contract, driven by injected fake executes.
+
+The real-process SIGKILL proof — kill the CLI mid-shard, resume it, and
+require the merged artifact byte-identical to an uninterrupted run — lives
+in ``test_fleet_cli.py`` where a subprocess is already in play.
+"""
+
+import pytest
+
+from repro.evaluation.fleet.checkpoint import load_checkpoint
+from repro.evaluation.fleet.merge import merge_checkpoints
+from repro.evaluation.fleet.plan import (
+    EvaluationPlan,
+    FleetError,
+    SweepConfiguration,
+)
+from repro.evaluation.fleet.runner import CaseFailure, ShardRunner
+
+
+def make_plan(num_shards=1, cases=("a/one", "b/two", "c/three", "d/four")):
+    return EvaluationPlan(
+        case_ids=tuple(cases),
+        configurations=(SweepConfiguration(),),
+        num_shards=num_shards,
+    )
+
+
+def outcome_for(unit):
+    return {
+        "case_id": unit.case_id,
+        "baseline_cycles": 100.0,
+        "optimized_cycles": 50.0,
+        "achieved_speedup": 2.0,
+        "estimated_speedup": 1.8,
+        "error": 0.1,
+        "optimizer_rank": 1,
+        "total_samples": 10,
+    }
+
+
+class CountingExecute:
+    def __init__(self, fail=()):
+        self.calls = []
+        self.fail = set(fail)
+
+    def __call__(self, unit):
+        self.calls.append(unit.case_id)
+        if unit.case_id in self.fail:
+            raise CaseFailure("Traceback (most recent call last):\n"
+                              f"RuntimeError: {unit.case_id} broke")
+        return outcome_for(unit)
+
+
+class TestResume:
+    def test_completed_units_are_never_re_executed(self, tmp_path):
+        plan = make_plan()
+        first = CountingExecute()
+        summary = ShardRunner(plan, 0, tmp_path, execute=first,
+                              stop_after=2).run()
+        assert summary.interrupted and summary.executed == 2
+        assert not summary.complete
+
+        second = CountingExecute()
+        resumed = ShardRunner(plan, 0, tmp_path, execute=second).run()
+        assert resumed.skipped == 2
+        assert resumed.executed == 2
+        assert resumed.complete
+        # The resumed invocation ran only the units the first one missed.
+        assert sorted(first.calls + second.calls) == sorted(
+            u.case_id for u in plan.shard_units(0)
+        )
+        assert not set(first.calls) & set(second.calls)
+
+    def test_fully_complete_shard_executes_nothing(self, tmp_path):
+        plan = make_plan()
+        ShardRunner(plan, 0, tmp_path, execute=CountingExecute()).run()
+        again = CountingExecute()
+        summary = ShardRunner(plan, 0, tmp_path, execute=again).run()
+        assert again.calls == []
+        assert summary.skipped == summary.total
+        assert summary.complete
+
+    def test_case_failures_are_checkpointed_as_data(self, tmp_path):
+        plan = make_plan()
+        execute = CountingExecute(fail={"b/two"})
+        summary = ShardRunner(plan, 0, tmp_path, execute=execute).run()
+        assert summary.failed == ["b/two"]
+        assert summary.complete
+
+        # A resume does NOT retry the failure — it is a recorded result.
+        again = CountingExecute()
+        resumed = ShardRunner(plan, 0, tmp_path, execute=again).run()
+        assert again.calls == []
+        assert resumed.failed == ["b/two"]
+
+    def test_infra_error_propagates_and_records_nothing(self, tmp_path):
+        plan = make_plan()
+
+        calls = []
+
+        def flaky(unit):
+            calls.append(unit.case_id)
+            if len(calls) == 2:
+                raise ConnectionError("daemon went away")
+            return outcome_for(unit)
+
+        with pytest.raises(ConnectionError):
+            ShardRunner(plan, 0, tmp_path, execute=flaky).run()
+        checkpoint, _ = load_checkpoint(tmp_path, plan.plan_id, 0)
+        # Unit 1 completed and is checkpointed; the in-flight unit 2 is not.
+        assert len(checkpoint.entries) == 1
+
+        summary = ShardRunner(plan, 0, tmp_path,
+                              execute=CountingExecute()).run()
+        assert summary.skipped == 1
+        assert summary.executed == 3
+        assert summary.complete
+
+    def test_orphaned_checkpoint_restarts_with_a_note(self, tmp_path):
+        plan = make_plan()
+        ShardRunner(plan, 0, tmp_path, execute=CountingExecute()).run()
+        other = make_plan(cases=("x/nine", "y/ten"))
+        summary = ShardRunner(other, 0, tmp_path,
+                              execute=CountingExecute()).run()
+        assert summary.skipped == 0
+        assert "written for plan" in summary.resume_note
+
+
+class TestShardScope:
+    def test_runner_touches_only_its_shard(self, tmp_path):
+        plan = make_plan(num_shards=3)
+        for shard in range(3):
+            execute = CountingExecute()
+            ShardRunner(plan, shard, tmp_path, execute=execute).run()
+            assert sorted(execute.calls) == sorted(
+                u.case_id for u in plan.shard_units(shard)
+            )
+        outcome = merge_checkpoints(
+            plan, [load_checkpoint(tmp_path, plan.plan_id, s)[0]
+                   for s in range(3)]
+        )
+        assert outcome.complete
+
+    def test_empty_shard_still_writes_its_checkpoint_file(self, tmp_path):
+        # 1 case over 4 shards leaves shards empty; CI uploads the file
+        # unconditionally, so it must exist even with nothing to record.
+        plan = make_plan(num_shards=4, cases=("a/one",))
+        empty = [s for s in range(4) if not plan.shard_units(s)]
+        assert empty
+        summary = ShardRunner(plan, empty[0], tmp_path,
+                              execute=CountingExecute()).run()
+        assert summary.total == 0 and summary.complete
+        from repro.evaluation.fleet.checkpoint import checkpoint_path
+        assert checkpoint_path(tmp_path, empty[0]).exists()
+
+    def test_shard_out_of_range(self, tmp_path):
+        with pytest.raises(FleetError, match="out of range"):
+            ShardRunner(make_plan(num_shards=2), 2, tmp_path,
+                        execute=CountingExecute())
+
+
+class TestKnobValidation:
+    def test_bad_stop_after_and_kill_after(self, tmp_path):
+        plan = make_plan()
+        with pytest.raises(FleetError):
+            ShardRunner(plan, 0, tmp_path, stop_after=0)
+        with pytest.raises(FleetError):
+            ShardRunner(plan, 0, tmp_path, kill_after=0)

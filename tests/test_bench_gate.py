@@ -121,3 +121,49 @@ class TestMedianOfRepeats:
         smoke = load("simulator_smoke")
         with pytest.raises(ValueError, match="repeat"):
             smoke.run_smoke(["a"], repeat=0)
+
+
+class TestHistoryAppend:
+    def test_every_gated_run_is_recorded_pass_or_fail(self, gate, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_history.jsonl"
+        fresh = summary(block(backend="vector", rate=200_000),
+                        block(backend="object", rate=100_000))
+        gate.append_history(path, gate.history_entry(fresh, "", "2026-08-08T03:23:00Z"))
+        gate.append_history(path, gate.history_entry(fresh, "regressed 40%",
+                                                     "2026-08-09T03:23:00Z"))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [entry["gate"] for entry in lines] == ["ok", "fail"]
+        assert all(entry["benchmark"] == "simulator_smoke" for entry in lines)
+        first = lines[0]["blocks"]
+        assert len(first) == 2
+        assert {b["simulator_backend"] for b in first} == {"vector", "object"}
+        assert all(b["cycles_per_second"] for b in first)
+
+    def test_history_entries_keep_only_identity_and_rate(self, gate):
+        noisy = block(backend="vector", rate=1, cycles_per_second_runs=[1, 2, 3],
+                      wall_seconds=9.9)
+        entry = gate.history_entry(summary(noisy), "", "now")
+        (recorded,) = entry["blocks"]
+        assert "cycles_per_second_runs" not in recorded
+        assert "wall_seconds" not in recorded
+        assert recorded["cycles_per_second"] == 1
+
+    def test_cli_appends_history_even_on_gate_failure(self, gate, tmp_path):
+        import json
+
+        reference = summary(block(backend="vector", rate=200_000))
+        fresh = summary(block(backend="vector", rate=50_000))
+        fresh_path = tmp_path / "fresh.json"
+        reference_path = tmp_path / "reference.json"
+        fresh_path.write_text(json.dumps(fresh))
+        reference_path.write_text(json.dumps(reference))
+        history = tmp_path / "history" / "BENCH_history.jsonl"
+
+        status = gate.main([str(fresh_path), "--reference", str(reference_path),
+                            "--append-history", str(history)])
+        assert status == 1  # the gate verdict is unchanged
+        (entry,) = [json.loads(line) for line in history.read_text().splitlines()]
+        assert entry["gate"] == "fail"
+        assert entry["recorded"].endswith("Z")
